@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("1, 2,4 ,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 16}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseThreadsErrors(t *testing.T) {
+	for _, bad := range []string{"", "a", "0", "-2", "1,,x"} {
+		if _, err := parseThreads(bad); err == nil {
+			t.Fatalf("parseThreads(%q) accepted", bad)
+		}
+	}
+}

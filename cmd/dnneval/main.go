@@ -1,0 +1,122 @@
+// Command dnneval evaluates a trained model snapshot on a test stream:
+//
+//	dnntrain -zoo lenet -iters 500 -snapshot /tmp/lenet.cgdnn
+//	dnneval  -zoo lenet -snapshot /tmp/lenet.cgdnn -batches 20
+//
+// It loads the parameters saved by dnntrain (solver snapshots are
+// accepted too — the extra state is ignored), runs the requested number
+// of forward-only batches in test mode, and reports mean loss and
+// accuracy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coarsegrain/internal/core"
+	"coarsegrain/internal/data"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/metrics"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/prototxt"
+	"coarsegrain/internal/snapshot"
+	"coarsegrain/internal/solver"
+	"coarsegrain/internal/zoo"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "", "network prototxt file")
+		zooName  = flag.String("zoo", "", "built-in network: lenet | cifar10-full")
+		snapPath = flag.String("snapshot", "", "model or solver snapshot to evaluate (required)")
+		batches  = flag.Int("batches", 16, "test batches to average over")
+		batch    = flag.Int("batch", 0, "override batch size")
+		samples  = flag.Int("samples", 2048, "synthetic dataset size")
+		seed     = flag.Uint64("seed", 2, "seed for the synthetic test stream")
+		workers  = flag.Int("workers", 1, "coarse workers for the forward passes")
+		dataDir  = flag.String("data", "", "directory with real dataset files")
+		scores   = flag.String("scores", "", "score blob for the confusion matrix (default: ip2 for lenet, ip1 for cifar)")
+	)
+	flag.Parse()
+	if *snapPath == "" {
+		fatal(fmt.Errorf("need -snapshot"))
+	}
+
+	ref := *zooName + *model
+	var src layers.Source
+	if strings.Contains(ref, "cifar") {
+		src, _ = data.LoadCIFAR10(*dataDir, *samples, *seed)
+	} else {
+		src, _ = data.LoadMNIST(*dataDir, *samples, *seed)
+	}
+
+	var specs []net.LayerSpec
+	var err error
+	switch {
+	case *zooName != "":
+		specs, err = zoo.Build(*zooName, src, zoo.Options{BatchSize: *batch, Seed: *seed, Accuracy: true})
+	case *model != "":
+		raw, rerr := os.ReadFile(*model)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		specs, err = prototxt.ParseNet(string(raw), prototxt.BuildOptions{
+			Source: src, Seed: *seed, BatchOverride: *batch,
+		})
+	default:
+		fatal(fmt.Errorf("need -model or -zoo"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	eng := core.NewCoarse(*workers)
+	defer eng.Close()
+	n, err := net.New(specs, eng)
+	if err != nil {
+		fatal(err)
+	}
+	if err := snapshot.LoadNetFile(*snapPath, n); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %s into a %d-layer net; evaluating %d batches\n",
+		*snapPath, len(specs), *batches)
+
+	outputs := []string{"loss"}
+	if _, err := n.Output("accuracy"); err == nil {
+		outputs = append(outputs, "accuracy")
+	}
+	res, err := solver.Evaluate(n, outputs, *batches)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mean loss: %.6f\n", res["loss"])
+	if acc, ok := res["accuracy"]; ok {
+		fmt.Printf("mean accuracy: %.4f\n", acc)
+	}
+
+	// Confusion matrix over the score blob, when one can be named.
+	sb := *scores
+	if sb == "" {
+		switch {
+		case strings.Contains(*zooName, "lenet") || strings.Contains(*zooName, "mnist"):
+			sb = "ip2"
+		case strings.Contains(*zooName, "cifar"):
+			sb = "ip1"
+		}
+	}
+	if sb != "" {
+		cm, err := metrics.Collect(n, sb, "label", *batches)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nconfusion matrix (%s vs label):\n%s", sb, cm)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnneval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+// Command dnntrain trains a network defined in a Caffe-style prototxt file
+// (or one of the built-in zoo networks) under a chosen execution engine:
+//
+//	dnntrain -model configs/lenet.prototxt -solver configs/lenet_solver.prototxt \
+//	         -engine coarse -workers 8 -iters 500
+//	dnntrain -zoo cifar10-full -engine sequential -iters 100
+//
+// Data comes from real MNIST/CIFAR files under -data when present, and
+// from the deterministic synthetic generators otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coarsegrain/internal/core"
+	"coarsegrain/internal/data"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/prototxt"
+	"coarsegrain/internal/snapshot"
+	"coarsegrain/internal/solver"
+	"coarsegrain/internal/zoo"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "", "network prototxt file")
+		solverP  = flag.String("solver", "", "solver prototxt file")
+		zooName  = flag.String("zoo", "", "built-in network instead of -model: lenet | cifar10-full")
+		engine   = flag.String("engine", "coarse", "execution engine: sequential | coarse | fine | tuned")
+		workers  = flag.Int("workers", 4, "worker count for parallel engines")
+		iters    = flag.Int("iters", 200, "training iterations")
+		display  = flag.Int("display", 20, "print loss every N iterations")
+		batch    = flag.Int("batch", 0, "override batch size")
+		samples  = flag.Int("samples", 2048, "synthetic dataset size")
+		seed     = flag.Uint64("seed", 1, "seed")
+		dataDir  = flag.String("data", "", "directory with real dataset files")
+		datasetF = flag.String("dataset", "", "force dataset: mnist | cifar (default inferred)")
+		snapPath = flag.String("snapshot", "", "write a solver snapshot here when training ends")
+		resume   = flag.String("resume", "", "resume training from a solver snapshot")
+	)
+	flag.Parse()
+
+	// Pick the dataset: explicit flag, else infer from the model name.
+	dataset := *datasetF
+	if dataset == "" {
+		ref := *zooName + *model
+		if strings.Contains(ref, "cifar") {
+			dataset = "cifar"
+		} else {
+			dataset = "mnist"
+		}
+	}
+	var src layers.Source
+	var real bool
+	if dataset == "cifar" {
+		src, real = data.LoadCIFAR10(*dataDir, *samples, *seed)
+	} else {
+		src, real = data.LoadMNIST(*dataDir, *samples, *seed)
+	}
+	if real {
+		fmt.Printf("dataset: real %s (%d samples)\n", dataset, src.Len())
+	} else {
+		fmt.Printf("dataset: synthetic %s (%d samples)\n", dataset, src.Len())
+	}
+
+	var specs []net.LayerSpec
+	var err error
+	switch {
+	case *zooName != "":
+		specs, err = zoo.Build(*zooName, src, zoo.Options{BatchSize: *batch, Seed: *seed, Accuracy: true})
+	case *model != "":
+		raw, rerr := os.ReadFile(*model)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		specs, err = prototxt.ParseNet(string(raw), prototxt.BuildOptions{
+			Source: src, Seed: *seed, BatchOverride: *batch,
+		})
+	default:
+		fatal(fmt.Errorf("need -model or -zoo"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	eng, err := engineByName(*engine, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	n, err := net.New(specs, eng)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("network (%d layers, engine %s/%d workers):\n%s",
+		len(specs), eng.Name(), eng.Workers(), n)
+
+	cfg := zoo.LeNetSolver()
+	if dataset == "cifar" {
+		cfg = zoo.CIFARFullSolver()
+	}
+	if *solverP != "" {
+		raw, rerr := os.ReadFile(*solverP)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if cfg, err = prototxt.ParseSolver(string(raw)); err != nil {
+			fatal(err)
+		}
+	}
+	s, err := solver.New(cfg, n)
+	if err != nil {
+		fatal(err)
+	}
+	if *resume != "" {
+		if err := snapshot.LoadSolverFile(*resume, s); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed from %s at iteration %d\n", *resume, s.Iter())
+	}
+
+	fmt.Printf("training %d iterations (%s, base_lr %g)\n", *iters, cfg.Type, cfg.BaseLR)
+	remaining := *iters
+	for remaining > 0 {
+		step := *display
+		if step > remaining {
+			step = remaining
+		}
+		losses := s.Step(step)
+		remaining -= step
+		line := fmt.Sprintf("iter %5d  loss %.6f  lr %.6f", s.Iter(), losses[len(losses)-1], s.LearningRate())
+		if acc, err := n.Output("accuracy"); err == nil {
+			line += fmt.Sprintf("  batch-accuracy %.3f", acc)
+		}
+		fmt.Println(line)
+	}
+	if *snapPath != "" {
+		if err := snapshot.SaveSolverFile(*snapPath, s); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot written to %s (iteration %d)\n", *snapPath, s.Iter())
+	}
+}
+
+func engineByName(name string, workers int) (core.Engine, error) {
+	switch name {
+	case "sequential", "seq":
+		return core.NewSequential(), nil
+	case "coarse":
+		return core.NewCoarse(workers), nil
+	case "fine":
+		return core.NewFine(workers), nil
+	case "tuned":
+		return core.NewTuned(workers), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (sequential|coarse|fine|tuned)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnntrain:", err)
+	os.Exit(1)
+}

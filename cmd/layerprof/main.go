@@ -1,0 +1,124 @@
+// Command layerprof profiles a network layer by layer under any engine —
+// the measurement methodology behind the paper's Figures 4, 5, 7 and 8:
+//
+//	layerprof -zoo lenet -engine coarse -workers 8 -iters 5
+//	layerprof -model configs/cifar10_full.prototxt -engine sequential
+//
+// It prints mean per-layer forward/backward times and each layer's share
+// of the iteration, plus the engine's privatization footprint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coarsegrain/internal/core"
+	"coarsegrain/internal/data"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/profile"
+	"coarsegrain/internal/prototxt"
+	"coarsegrain/internal/zoo"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "", "network prototxt file")
+		zooName = flag.String("zoo", "", "built-in network: lenet | cifar10-full")
+		engine  = flag.String("engine", "sequential", "engine: sequential | coarse | fine | tuned")
+		workers = flag.Int("workers", 4, "worker count for parallel engines")
+		iters   = flag.Int("iters", 5, "timed iterations")
+		warmup  = flag.Int("warmup", 1, "warm-up iterations")
+		batch   = flag.Int("batch", 0, "override batch size")
+		samples = flag.Int("samples", 512, "synthetic dataset size")
+		seed    = flag.Uint64("seed", 1, "seed")
+		dataDir = flag.String("data", "", "directory with real dataset files")
+	)
+	flag.Parse()
+
+	ref := *zooName + *model
+	var src layers.Source
+	if strings.Contains(ref, "cifar") {
+		src, _ = data.LoadCIFAR10(*dataDir, *samples, *seed)
+	} else {
+		src, _ = data.LoadMNIST(*dataDir, *samples, *seed)
+	}
+
+	var specs []net.LayerSpec
+	var err error
+	switch {
+	case *zooName != "":
+		specs, err = zoo.Build(*zooName, src, zoo.Options{BatchSize: *batch, Seed: *seed})
+	case *model != "":
+		raw, rerr := os.ReadFile(*model)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		specs, err = prototxt.ParseNet(string(raw), prototxt.BuildOptions{
+			Source: src, Seed: *seed, BatchOverride: *batch,
+		})
+	default:
+		fatal(fmt.Errorf("need -model or -zoo"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var eng core.Engine
+	switch *engine {
+	case "sequential", "seq":
+		eng = core.NewSequential()
+	case "coarse":
+		eng = core.NewCoarse(*workers)
+	case "fine":
+		eng = core.NewFine(*workers)
+	case "tuned":
+		eng = core.NewTuned(*workers)
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	defer eng.Close()
+
+	n, err := net.New(specs, eng)
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < *warmup; i++ {
+		n.ZeroParamDiffs()
+		n.ForwardBackward()
+	}
+	rec := profile.NewRecorder()
+	n.SetRecorder(rec)
+	for i := 0; i < *iters; i++ {
+		n.ZeroParamDiffs()
+		n.ForwardBackward()
+	}
+
+	fmt.Printf("engine %s, %d workers, %d timed iterations\n\n", eng.Name(), eng.Workers(), *iters)
+	fmt.Print(rec.Table())
+	fmt.Printf("\ndominating layers (80%% of time): %v\n", dominators(rec))
+	fmt.Printf("network memory: %.1f MB, privatization scratch: %.1f KB\n",
+		float64(n.MemoryBytes())/(1<<20), float64(eng.ScratchBytes())/1024)
+}
+
+func dominators(rec *profile.Recorder) []string {
+	names := rec.SortedLayersByCost()
+	total := float64(rec.TotalMean())
+	var out []string
+	var acc float64
+	for _, nm := range names {
+		out = append(out, nm)
+		acc += float64(rec.Mean(nm, profile.Forward) + rec.Mean(nm, profile.Backward))
+		if acc/total >= 0.8 {
+			break
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "layerprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// MNIST example: trains the paper's LeNet benchmark network and compares
+// the four execution engines (sequential, coarse-grain batch-parallel,
+// fine-grain BLAS-parallel, tuned im2col+GEMM) on identical weights — the
+// workload of the paper's Figures 4-6.
+//
+//	go run ./examples/mnist              # synthetic MNIST
+//	go run ./examples/mnist -data ~/mnist -iters 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"coarsegrain/internal/core"
+	"coarsegrain/internal/data"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/profile"
+	"coarsegrain/internal/solver"
+	"coarsegrain/internal/zoo"
+)
+
+func main() {
+	var (
+		iters   = flag.Int("iters", 100, "training iterations")
+		batch   = flag.Int("batch", 64, "batch size")
+		samples = flag.Int("samples", 1024, "synthetic dataset size")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		dataDir = flag.String("data", "", "directory with real MNIST files")
+	)
+	flag.Parse()
+
+	src, real := data.LoadMNIST(*dataDir, *samples, 7)
+	fmt.Printf("MNIST source: real=%v, %d samples\n", real, src.Len())
+
+	// Train LeNet with the coarse-grain engine and the Caffe solver.
+	engine := core.NewCoarse(*workers)
+	defer engine.Close()
+	specs, err := zoo.LeNet(src, zoo.Options{BatchSize: *batch, Seed: 7, Accuracy: true})
+	check(err)
+	network, err := net.New(specs, engine)
+	check(err)
+	s, err := solver.New(zoo.LeNetSolver(), network)
+	check(err)
+
+	fmt.Printf("training LeNet, batch %d, %d workers\n", *batch, *workers)
+	start := time.Now()
+	for s.Iter() < *iters {
+		losses := s.Step(min(20, *iters-s.Iter()))
+		acc, _ := network.Output("accuracy")
+		fmt.Printf("iter %4d  loss %.4f  acc %.3f  lr %.5f\n",
+			s.Iter(), losses[len(losses)-1], acc, s.LearningRate())
+	}
+	fmt.Printf("trained in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Per-layer profile under the trained weights (Figure 4's view).
+	rec := profile.NewRecorder()
+	network.SetRecorder(rec)
+	for i := 0; i < 3; i++ {
+		network.ZeroParamDiffs()
+		network.ForwardBackward()
+	}
+	network.SetRecorder(nil)
+	fmt.Println("per-layer profile (coarse engine):")
+	fmt.Print(rec.Table())
+
+	// Engine comparison on identical weights: every engine computes the
+	// same loss (bitwise for coarse; within float tolerance for the
+	// fine/tuned kernels, whose operation order differs).
+	fmt.Println("\nengine comparison (same weights, same batch):")
+	for _, mk := range []func() core.Engine{
+		func() core.Engine { return core.NewSequential() },
+		func() core.Engine { return core.NewCoarse(*workers) },
+		func() core.Engine { return core.NewFine(*workers) },
+		func() core.Engine { return core.NewTuned(*workers) },
+	} {
+		e := mk()
+		fresh, err := zoo.LeNet(data.Subset{Src: src, N: src.Len()}, zoo.Options{BatchSize: *batch, Seed: 7})
+		check(err)
+		n2, err := net.New(fresh, e)
+		check(err)
+		check(n2.CopyParamsFrom(network))
+		t0 := time.Now()
+		loss := n2.ForwardBackward()
+		fmt.Printf("  %-10s %8.3fms  loss %.6f\n", e.Name(), float64(time.Since(t0).Microseconds())/1000, loss)
+		e.Close()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

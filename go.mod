@@ -1,0 +1,3 @@
+module coarsegrain
+
+go 1.22

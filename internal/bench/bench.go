@@ -1,0 +1,214 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section (Figures 4-9 plus the §3.2.1
+// memory numbers and the convergence-invariance claim) from this
+// repository's implementation. See DESIGN.md §3 for the experiment index
+// and EXPERIMENTS.md for recorded paper-vs-reproduction results.
+//
+// Each experiment runs the *real* network (real layers, real engines) to
+// measure single-thread per-layer costs, then evaluates parallel
+// executions two ways:
+//
+//   - measured: actual goroutine teams timed with the wall clock —
+//     meaningful on a multi-core host;
+//   - modeled: the simtime analytic model driven by the measured serial
+//     costs and the layers' true iteration extents — the documented
+//     substitution for the paper's 16-core Xeon (DESIGN.md §4.1).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"coarsegrain/internal/core"
+	"coarsegrain/internal/data"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/profile"
+	"coarsegrain/internal/simtime"
+	"coarsegrain/internal/solver"
+	"coarsegrain/internal/zoo"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Net selects the benchmark: "mnist" (LeNet) or "cifar"
+	// (CIFAR-10-full).
+	Net string
+	// Batch overrides the Caffe default batch (64 MNIST / 100 CIFAR).
+	Batch int
+	// Samples sizes the synthetic dataset (default 4*batch).
+	Samples int
+	// Iterations is how many timed iterations the measurement averages
+	// over (default 3).
+	Iterations int
+	// Warmup iterations excluded from timing (default 1).
+	Warmup int
+	// Threads lists the worker counts to evaluate (default the paper's
+	// 1, 2, 4, 8, 12, 16).
+	Threads []int
+	// Seed drives weights and synthetic data.
+	Seed uint64
+	// DataDir, when set, is searched for the real MNIST/CIFAR files;
+	// synthetic data is used otherwise.
+	DataDir string
+	// Measure additionally times real parallel engine runs at each
+	// thread count (only meaningful on a multi-core host).
+	Measure bool
+	// Machine overrides the modeled hardware (DefaultMachine otherwise).
+	Machine *simtime.Machine
+}
+
+func (o *Options) normalize() error {
+	switch o.Net {
+	case "", "mnist", "lenet":
+		o.Net = "mnist"
+	case "cifar", "cifar10", "cifar10-full":
+		o.Net = "cifar"
+	default:
+		return fmt.Errorf("bench: unknown net %q", o.Net)
+	}
+	if o.Batch == 0 {
+		if o.Net == "mnist" {
+			o.Batch = 64
+		} else {
+			o.Batch = 100
+		}
+	}
+	if o.Samples == 0 {
+		o.Samples = 4 * o.Batch
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 3
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 1
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = []int{1, 2, 4, 8, 12, 16}
+	}
+	if o.Machine == nil {
+		m := simtime.DefaultMachine()
+		o.Machine = &m
+	}
+	return nil
+}
+
+// sourceFor returns the benchmark's data source (real files when present,
+// synthetic otherwise).
+func sourceFor(o Options) layers.Source {
+	if o.Net == "mnist" {
+		src, _ := data.LoadMNIST(o.DataDir, o.Samples, o.Seed)
+		return src
+	}
+	src, _ := data.LoadCIFAR10(o.DataDir, o.Samples, o.Seed)
+	return src
+}
+
+// buildNet constructs the selected benchmark network with a fresh source.
+func buildNet(o Options, eng core.Engine) (*net.Net, error) {
+	specs, err := zoo.Build(o.Net, sourceFor(o), zoo.Options{BatchSize: o.Batch, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return net.New(specs, eng)
+}
+
+// solverFor returns the Caffe solver configuration of the benchmark.
+func solverFor(o Options) solver.Config {
+	if o.Net == "mnist" {
+		return zoo.LeNetSolver()
+	}
+	return zoo.CIFARFullSolver()
+}
+
+// MeasureSerial runs the network under the sequential engine and returns
+// the net plus a recorder holding mean per-layer forward/backward times.
+func MeasureSerial(o Options) (*net.Net, *profile.Recorder, error) {
+	if err := o.normalize(); err != nil {
+		return nil, nil, err
+	}
+	n, err := buildNet(o, core.NewSequential())
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := profile.NewRecorder()
+	for i := 0; i < o.Warmup; i++ {
+		n.ZeroParamDiffs()
+		n.ForwardBackward()
+	}
+	n.SetRecorder(rec)
+	for i := 0; i < o.Iterations; i++ {
+		n.ZeroParamDiffs()
+		n.ForwardBackward()
+	}
+	n.SetRecorder(nil)
+	return n, rec, nil
+}
+
+// MeasureEngine times full iterations of the network under an arbitrary
+// engine, returning the recorder (per-layer) and the mean iteration time.
+func MeasureEngine(o Options, eng core.Engine) (*profile.Recorder, time.Duration, error) {
+	if err := o.normalize(); err != nil {
+		return nil, 0, err
+	}
+	n, err := buildNet(o, eng)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec := profile.NewRecorder()
+	for i := 0; i < o.Warmup; i++ {
+		n.ZeroParamDiffs()
+		n.ForwardBackward()
+	}
+	n.SetRecorder(rec)
+	start := time.Now()
+	for i := 0; i < o.Iterations; i++ {
+		n.ZeroParamDiffs()
+		n.ForwardBackward()
+	}
+	mean := time.Since(start) / time.Duration(o.Iterations)
+	return rec, mean, nil
+}
+
+// classifyDist maps a layer to its data-thread distribution class, the
+// quantity behind the paper's locality analysis: the data layer writes
+// sequentially; sample-coalesced layers (LRN, InnerProduct, losses)
+// distribute whole samples; everything else distributes (sample, channel)
+// planes.
+func classifyDist(l layers.Layer, batch int) simtime.Dist {
+	ext := l.ForwardExtent()
+	switch {
+	case ext == 0:
+		return simtime.DistSequential
+	case ext == batch:
+		return simtime.DistSamples
+	default:
+		return simtime.DistPlanes
+	}
+}
+
+// ModelsFromNet builds the analytic model inputs from a real network and
+// its measured serial per-layer times — the layer extents, parameter
+// counts and distribution classes come from the live layer objects, not
+// from assumptions.
+func ModelsFromNet(n *net.Net, rec *profile.Recorder, batch int) []simtime.LayerModel {
+	var out []simtime.LayerModel
+	for _, l := range n.Layers() {
+		params := 0
+		for _, p := range l.Params() {
+			params += p.Count()
+		}
+		d := classifyDist(l, batch)
+		out = append(out, simtime.LayerModel{
+			Name:        l.Name(),
+			FwdSerialUS: float64(rec.Mean(l.Name(), profile.Forward).Nanoseconds()) / 1000,
+			BwdSerialUS: float64(rec.Mean(l.Name(), profile.Backward).Nanoseconds()) / 1000,
+			FwdExtent:   l.ForwardExtent(),
+			BwdExtent:   l.BackwardExtent(),
+			ParamElems:  params,
+			Consumes:    d,
+			Produces:    d,
+		})
+	}
+	return out
+}

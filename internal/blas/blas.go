@@ -1,0 +1,285 @@
+// Package blas is a from-scratch, pure-Go implementation of the basic
+// linear algebra subroutines that DNN layer transformations are built on
+// (§2.1.2 of the paper: layers are f_i(x, W_i, b_i) = W_i*x + b_i applied
+// piecewise over blob segments). It replaces the OpenBLAS dependency of the
+// paper's Caffe configuration.
+//
+// Two granularities are provided, mirroring the paper's taxonomy of
+// parallelism sources (§3.1):
+//
+//   - serial kernels (Gemm, Gemv, Axpy, ...) used inside coarse-grain
+//     (batch-level) parallel regions, where the *caller* owns the threads;
+//   - fine-grain parallel kernels (GemmParallel, ...) that split the
+//     BLAS operation itself across a worker pool; these implement the
+//     "BLAS level parallelism" (§3.1.1) used by the fine-grain engines.
+//
+// All matrices are row-major, mirroring the C-contiguous blob layout.
+package blas
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/par"
+)
+
+// Transpose selects op(X) for Gemm/Gemv.
+type Transpose bool
+
+const (
+	// NoTrans uses the matrix as stored.
+	NoTrans Transpose = false
+	// Trans uses the transpose of the stored matrix.
+	Trans Transpose = true
+)
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices.
+// op(A) is M x K, op(B) is K x N, C is M x N. lda/ldb/ldc are the leading
+// (row) strides of the *stored* matrices.
+//
+// The kernel is written as an i-k-j loop with a row accumulator, which
+// vectorizes reasonably and keeps B accesses sequential.
+func Gemm(transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	checkGemm(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
+	GemmRows(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, m)
+}
+
+// GemmRows computes rows [rowLo, rowHi) of the Gemm result. It is the
+// work-splittable core used by both Gemm (full range) and GemmParallel
+// (one contiguous row band per worker). Bands of distinct workers touch
+// disjoint rows of C, so the parallel composition is race-free.
+func GemmRows(transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int, rowLo, rowHi int) {
+	if rowLo < 0 || rowHi > m || rowLo > rowHi {
+		panic(fmt.Sprintf("blas: bad row band [%d,%d) for m=%d", rowLo, rowHi, m))
+	}
+	for i := rowLo; i < rowHi; i++ {
+		ci := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range ci {
+				ci[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range ci {
+				ci[j] *= beta
+			}
+		}
+		if alpha == 0 {
+			continue
+		}
+		for l := 0; l < k; l++ {
+			var av float32
+			if transA == NoTrans {
+				av = a[i*lda+l]
+			} else {
+				av = a[l*lda+i]
+			}
+			if av == 0 {
+				continue
+			}
+			av *= alpha
+			if transB == NoTrans {
+				bl := b[l*ldb : l*ldb+n]
+				axpyTo(ci, bl, av)
+			} else {
+				// op(B)[l, j] = B[j, l]
+				for j := 0; j < n; j++ {
+					ci[j] += av * b[j*ldb+l]
+				}
+			}
+		}
+	}
+}
+
+// axpyTo computes dst += alpha*src elementwise; split out so the compiler
+// can bounds-check-eliminate and unroll the innermost gemm loop.
+func axpyTo(dst, src []float32, alpha float32) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	var i int
+	for ; i+3 < n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+func checkGemm(transA, transB Transpose, m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("blas: negative gemm dims m=%d n=%d k=%d", m, n, k))
+	}
+	// Minimal extents of the stored matrices.
+	arows, acols := m, k
+	if transA == Trans {
+		arows, acols = k, m
+	}
+	brows, bcols := k, n
+	if transB == Trans {
+		brows, bcols = n, k
+	}
+	if lda < acols || ldb < bcols || ldc < n {
+		panic(fmt.Sprintf("blas: leading dims too small lda=%d(%d) ldb=%d(%d) ldc=%d(%d)", lda, acols, ldb, bcols, ldc, n))
+	}
+	if arows > 0 && len(a) < (arows-1)*lda+acols {
+		panic(fmt.Sprintf("blas: A too short: len=%d need=%d", len(a), (arows-1)*lda+acols))
+	}
+	if brows > 0 && len(b) < (brows-1)*ldb+bcols {
+		panic(fmt.Sprintf("blas: B too short: len=%d need=%d", len(b), (brows-1)*ldb+bcols))
+	}
+	if m > 0 && len(c) < (m-1)*ldc+n {
+		panic(fmt.Sprintf("blas: C too short: len=%d need=%d", len(c), (m-1)*ldc+n))
+	}
+}
+
+// GemmParallel is the fine-grain (BLAS-level) parallel Gemm: the M rows of
+// C are statically partitioned across the pool's workers. This is the
+// parallelism a GPU BLAS exploits, transplanted to goroutines; it is the
+// building block of the plain-GPU analogue engine.
+func GemmParallel(p *par.Pool, transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	checkGemm(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
+	if p == nil || p.Workers() == 1 || m == 1 {
+		GemmRows(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, m)
+		return
+	}
+	p.For(m, func(lo, hi, _ int) {
+		GemmRows(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, lo, hi)
+	})
+}
+
+// Gemv computes y = alpha*op(A)*x + beta*y where A is an m x n row-major
+// matrix (before op).
+func Gemv(trans Transpose, m, n int, alpha float32, a []float32, lda int, x []float32, beta float32, y []float32) {
+	if lda < n {
+		panic(fmt.Sprintf("blas: gemv lda=%d < n=%d", lda, n))
+	}
+	if m > 0 && len(a) < (m-1)*lda+n {
+		panic("blas: gemv A too short")
+	}
+	if trans == NoTrans {
+		if len(x) < n || len(y) < m {
+			panic("blas: gemv vector too short")
+		}
+		for i := 0; i < m; i++ {
+			var acc float32
+			row := a[i*lda : i*lda+n]
+			for j, av := range row {
+				acc += av * x[j]
+			}
+			if beta == 0 {
+				y[i] = alpha * acc
+			} else {
+				y[i] = alpha*acc + beta*y[i]
+			}
+		}
+		return
+	}
+	// y (len n) = alpha * A^T x (len m) + beta*y
+	if len(x) < m || len(y) < n {
+		panic("blas: gemv vector too short")
+	}
+	if beta == 0 {
+		for j := 0; j < n; j++ {
+			y[j] = 0
+		}
+	} else if beta != 1 {
+		for j := 0; j < n; j++ {
+			y[j] *= beta
+		}
+	}
+	for i := 0; i < m; i++ {
+		av := alpha * x[i]
+		if av == 0 {
+			continue
+		}
+		row := a[i*lda : i*lda+n]
+		axpyTo(y[:n], row, av)
+	}
+}
+
+// Axpy computes y += alpha*x over min(len(x), len(y)) elements.
+func Axpy(alpha float32, x, y []float32) { axpyTo(y, x, alpha) }
+
+// Axpby computes y = alpha*x + beta*y.
+func Axpby(alpha float32, x []float32, beta float32, y []float32) {
+	n := len(y)
+	if len(x) < n {
+		n = len(x)
+	}
+	for i := 0; i < n; i++ {
+		y[i] = alpha*x[i] + beta*y[i]
+	}
+}
+
+// Scal computes x *= alpha.
+func Scal(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of x and y over min(len(x), len(y))
+// elements, accumulated in float64 for stability.
+func Dot(x, y []float32) float32 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += float64(x[i]) * float64(y[i])
+	}
+	return float32(s)
+}
+
+// Asum returns the sum of absolute values of x.
+func Asum(x []float32) float32 {
+	var s float64
+	for _, v := range x {
+		if v < 0 {
+			s -= float64(v)
+		} else {
+			s += float64(v)
+		}
+	}
+	return float32(s)
+}
+
+// Copy copies src into dst (counts must match).
+func Copy(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("blas: copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// SetAll stores v into every element of x.
+func SetAll(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// AddScalar adds v to every element of x.
+func AddScalar(x []float32, v float32) {
+	for i := range x {
+		x[i] += v
+	}
+}
+
+// Mul computes z[i] = x[i]*y[i].
+func Mul(z, x, y []float32) {
+	for i := range z {
+		z[i] = x[i] * y[i]
+	}
+}
+
+// Div computes z[i] = x[i]/y[i].
+func Div(z, x, y []float32) {
+	for i := range z {
+		z[i] = x[i] / y[i]
+	}
+}

@@ -1,0 +1,99 @@
+package blas
+
+// Im2col lowers a (channels, height, width) image into a column matrix so
+// that a convolution becomes a single Gemm, the standard lowering used by
+// Caffe's convolutional layers (and the basis of the cuDNN-analogue
+// "FineTuned" engine in this repository).
+//
+// The output col has shape
+//
+//	(channels*kernelH*kernelW) x (outH*outW)
+//
+// stored row-major, where outH = (height + 2*padH - kernelH)/strideH + 1 and
+// similarly for outW. Elements read from the padding region are zero.
+func Im2col(im []float32, channels, height, width, kernelH, kernelW, padH, padW, strideH, strideW int, col []float32) {
+	outH := ConvOutSize(height, kernelH, padH, strideH)
+	outW := ConvOutSize(width, kernelW, padW, strideW)
+	idx := 0
+	for c := 0; c < channels; c++ {
+		chIm := im[c*height*width:]
+		for kh := 0; kh < kernelH; kh++ {
+			for kw := 0; kw < kernelW; kw++ {
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*strideH - padH + kh
+					if ih < 0 || ih >= height {
+						for ow := 0; ow < outW; ow++ {
+							col[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := ih * width
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*strideW - padW + kw
+						if iw < 0 || iw >= width {
+							col[idx] = 0
+						} else {
+							col[idx] = chIm[rowBase+iw]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2im is the adjoint of Im2col: it scatters (accumulating) the column
+// matrix back into an image. Used by the convolution backward pass to
+// build the gradient with respect to the layer input.
+//
+// The destination image is NOT zeroed first; callers accumulate into a
+// zeroed (or privatized) buffer.
+func Col2im(col []float32, channels, height, width, kernelH, kernelW, padH, padW, strideH, strideW int, im []float32) {
+	outH := ConvOutSize(height, kernelH, padH, strideH)
+	outW := ConvOutSize(width, kernelW, padW, strideW)
+	idx := 0
+	for c := 0; c < channels; c++ {
+		chIm := im[c*height*width:]
+		for kh := 0; kh < kernelH; kh++ {
+			for kw := 0; kw < kernelW; kw++ {
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*strideH - padH + kh
+					if ih < 0 || ih >= height {
+						idx += outW
+						continue
+					}
+					rowBase := ih * width
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*strideW - padW + kw
+						if iw >= 0 && iw < width {
+							chIm[rowBase+iw] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvOutSize returns the output spatial extent of a convolution/pooling
+// window sweep: (in + 2*pad - kernel)/stride + 1.
+func ConvOutSize(in, kernel, pad, stride int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// PoolOutSize returns the output extent of a Caffe pooling sweep, which
+// uses ceil division and then clips windows that start beyond the padded
+// input (Caffe PoolingLayer::Reshape semantics).
+func PoolOutSize(in, kernel, pad, stride int) int {
+	out := (in+2*pad-kernel+stride-1)/stride + 1
+	if pad > 0 {
+		// The last pooling window must start strictly inside the padded input.
+		if (out-1)*stride >= in+pad {
+			out--
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package blob
+
+import "testing"
+
+func TestNewDiffOnlyAliasesBuffers(t *testing.T) {
+	b := NewDiffOnly(3, 4)
+	if b.Count() != 12 {
+		t.Fatalf("count %d", b.Count())
+	}
+	b.Diff()[5] = 7
+	if b.Data()[5] != 7 {
+		t.Fatal("data does not alias diff")
+	}
+	if b.MemoryBytes() != 12*4 {
+		t.Fatalf("diff-only memory = %d, want %d", b.MemoryBytes(), 12*4)
+	}
+}
+
+func TestDiffOnlyReshapePreservesAliasing(t *testing.T) {
+	b := NewDiffOnly(4)
+	b.Reshape(100) // grow: must re-alias
+	b.Diff()[50] = 3
+	if b.Data()[50] != 3 {
+		t.Fatal("aliasing lost after grow")
+	}
+	if b.MemoryBytes() != 100*4 {
+		t.Fatalf("memory %d", b.MemoryBytes())
+	}
+	b.Reshape(10) // shrink: stays aliased (same backing)
+	b.Diff()[3] = 9
+	if b.Data()[3] != 9 {
+		t.Fatal("aliasing lost after shrink")
+	}
+}
+
+func TestDiffOnlyZeroAndAccumulate(t *testing.T) {
+	b := NewDiffOnly(4)
+	src := New(4)
+	copy(src.Diff(), []float32{1, 2, 3, 4})
+	b.AccumulateDiffFrom(src)
+	b.AccumulateDiffFrom(src)
+	if b.Diff()[3] != 8 {
+		t.Fatalf("accumulate: %v", b.Diff())
+	}
+	b.ZeroDiff()
+	for _, v := range b.Diff() {
+		if v != 0 {
+			t.Fatal("zero failed")
+		}
+	}
+}
+
+func TestRegularBlobBuffersIndependent(t *testing.T) {
+	b := New(4)
+	b.Diff()[1] = 5
+	if b.Data()[1] != 0 {
+		t.Fatal("regular blob buffers alias")
+	}
+	if b.MemoryBytes() != 4*8 {
+		t.Fatalf("regular memory %d", b.MemoryBytes())
+	}
+}

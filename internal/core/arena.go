@@ -1,0 +1,63 @@
+package core
+
+import "coarsegrain/internal/blob"
+
+// arena hands out per-worker private gradient blobs and recycles them
+// across layers. The paper's memory analysis (§3.2.1) relies on exactly
+// this reuse: "the temporal storage can be reused across layers, so that
+// the total extra memory is determined by the layer with more
+// coefficients". One arena serves one worker rank, so takes/puts never
+// race.
+type arena struct {
+	free []*blob.Blob
+	all  []*blob.Blob // every blob ever created, for memory accounting
+}
+
+// take returns a blob reshaped to shape with a zeroed diff. It prefers the
+// smallest free blob whose capacity fits, growing one only when necessary.
+func (a *arena) take(shape []int) *blob.Blob {
+	need := 1
+	for _, d := range shape {
+		need *= d
+	}
+	best := -1
+	for i, b := range a.free {
+		if b.Cap() >= need && (best == -1 || b.Cap() < a.free[best].Cap()) {
+			best = i
+		}
+	}
+	var b *blob.Blob
+	if best >= 0 {
+		b = a.free[best]
+		a.free = append(a.free[:best], a.free[best+1:]...)
+	} else if len(a.free) > 0 {
+		// Grow the largest free blob rather than allocating another one,
+		// keeping the steady-state footprint at "largest layer wins".
+		largest := 0
+		for i, fb := range a.free {
+			if fb.Cap() > a.free[largest].Cap() {
+				largest = i
+			}
+		}
+		b = a.free[largest]
+		a.free = append(a.free[:largest], a.free[largest+1:]...)
+	} else {
+		b = blob.NewDiffOnly()
+		a.all = append(a.all, b)
+	}
+	b.Reshape(shape...)
+	b.ZeroDiff()
+	return b
+}
+
+// put returns a blob to the free list.
+func (a *arena) put(b *blob.Blob) { a.free = append(a.free, b) }
+
+// bytes reports the total capacity held by the arena.
+func (a *arena) bytes() int64 {
+	var n int64
+	for _, b := range a.all {
+		n += b.MemoryBytes()
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package core
+
+import "testing"
+
+func TestArenaReusesBestFit(t *testing.T) {
+	var a arena
+	big := a.take([]int{100})
+	small := a.take([]int{10})
+	a.put(big)
+	a.put(small)
+	// A request for 8 elements must reuse the small blob, not the big one.
+	got := a.take([]int{8})
+	if got != small {
+		t.Fatal("arena did not pick the best-fitting free blob")
+	}
+	if got.Count() != 8 {
+		t.Fatalf("reshaped count %d", got.Count())
+	}
+}
+
+func TestArenaGrowsLargestInsteadOfAllocating(t *testing.T) {
+	var a arena
+	b1 := a.take([]int{10})
+	b2 := a.take([]int{20})
+	a.put(b1)
+	a.put(b2)
+	// Nothing fits 50: the largest free blob must be grown, keeping the
+	// blob count at 2 (steady-state memory = largest layer, §3.2.1).
+	got := a.take([]int{50})
+	if got != b2 {
+		t.Fatal("arena did not grow the largest free blob")
+	}
+	if len(a.all) != 2 {
+		t.Fatalf("arena allocated a new blob: %d total", len(a.all))
+	}
+}
+
+func TestArenaZeroesDiffOnTake(t *testing.T) {
+	var a arena
+	b := a.take([]int{4})
+	b.Diff()[2] = 42
+	a.put(b)
+	b2 := a.take([]int{4})
+	for _, v := range b2.Diff() {
+		if v != 0 {
+			t.Fatal("reused blob not zeroed")
+		}
+	}
+}
+
+func TestArenaBytesAccounting(t *testing.T) {
+	var a arena
+	b := a.take([]int{100})
+	if a.bytes() != 400 { // diff-only: one float32 buffer
+		t.Fatalf("bytes = %d, want 400", a.bytes())
+	}
+	a.put(b)
+	if a.bytes() != 400 {
+		t.Fatal("free blobs must stay accounted")
+	}
+}

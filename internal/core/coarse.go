@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/par"
+)
+
+// ReductionMode selects how privatized gradients are merged.
+type ReductionMode int
+
+const (
+	// OrderedReduction merges private gradients in worker-rank order
+	// (Algorithm 5's `omp for ordered`), giving a bit-deterministic result
+	// for a fixed worker count — the mode the paper recommends while a
+	// network is being tuned and debugged.
+	OrderedReduction ReductionMode = iota
+	// TreeReduction merges pairwise in parallel (the "reduction-based
+	// solution" the paper mentions as valid once convergence is ensured).
+	// Cheaper at high worker counts, but float non-associativity means the
+	// result may differ in the last bits between runs with different
+	// worker counts.
+	TreeReduction
+)
+
+// String implements fmt.Stringer.
+func (m ReductionMode) String() string {
+	if m == TreeReduction {
+		return "tree"
+	}
+	return "ordered"
+}
+
+// Schedule selects the loop-scheduling policy of the coarse engine.
+type Schedule int
+
+const (
+	// StaticSchedule is the OpenMP default the paper uses: contiguous
+	// ceil(n/P) chunks with a fixed work-to-rank mapping, which the
+	// ordered reduction turns into deterministic training.
+	StaticSchedule Schedule = iota
+	// DynamicSchedule claims chunks from a shared counter. It absorbs
+	// irregular iteration costs but loses the fixed mapping, so gradient
+	// accumulation order (and hence the last float bits of the loss
+	// trace) varies between runs — provided as an ablation.
+	DynamicSchedule
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	if s == DynamicSchedule {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Coarse is the paper's contribution: batch-level (coarse-grain)
+// parallelization of the generic layer loop nest.
+//
+// Forward (Algorithm 4): the serial prepare hook runs first (data layers
+// load their batch here, sequentially, exactly as in Caffe); then the
+// layer's coalesced iteration space is statically scheduled across the
+// worker team; the serial finish hook closes the pass.
+//
+// Backward (Algorithm 5): each worker receives private, zero-initialized
+// gradient blobs for the layer's parameters ("object privatization"),
+// processes its static chunk, and the private gradients are merged into
+// the shared parameter diffs by an ordered reduction.
+//
+// The engine is network-agnostic: it never inspects layer types, only the
+// generic extents/ranges — which is the property that makes the
+// parallelization immediately available for new layer types (§3.3).
+type Coarse struct {
+	pool      *par.Pool
+	arenas    []arena // one per worker rank
+	reduction ReductionMode
+	schedule  Schedule
+}
+
+// NewCoarse creates a coarse-grain engine with the given worker count.
+func NewCoarse(workers int) *Coarse {
+	p := par.NewPool(workers)
+	return &Coarse{pool: p, arenas: make([]arena, p.Workers())}
+}
+
+// NewCoarseWithReduction creates a coarse engine using the given merge
+// strategy (OrderedReduction is the default of NewCoarse).
+func NewCoarseWithReduction(workers int, mode ReductionMode) *Coarse {
+	e := NewCoarse(workers)
+	e.reduction = mode
+	return e
+}
+
+// NewCoarseWithSchedule creates a coarse engine using the given loop
+// scheduling policy (StaticSchedule is the default of NewCoarse).
+func NewCoarseWithSchedule(workers int, sched Schedule) *Coarse {
+	e := NewCoarse(workers)
+	e.schedule = sched
+	return e
+}
+
+// Name implements Engine.
+func (e *Coarse) Name() string { return "coarse" }
+
+// Schedule returns the configured loop scheduling policy.
+func (e *Coarse) Schedule() Schedule { return e.schedule }
+
+// parFor dispatches a worksharing loop under the configured schedule.
+func (e *Coarse) parFor(n int, body func(lo, hi, rank int)) {
+	if e.schedule == DynamicSchedule {
+		e.pool.ForDynamic(n, par.DefaultDynamicChunk(n, e.pool.Workers()), body)
+		return
+	}
+	e.pool.For(n, body)
+}
+
+// Workers implements Engine.
+func (e *Coarse) Workers() int { return e.pool.Workers() }
+
+// Reduction returns the configured merge strategy.
+func (e *Coarse) Reduction() ReductionMode { return e.reduction }
+
+// Forward implements Engine.
+func (e *Coarse) Forward(l layers.Layer, bottom, top []*blob.Blob) {
+	forwardHooks(l, bottom, top, func() {
+		if n := l.ForwardExtent(); n > 0 {
+			e.parFor(n, func(lo, hi, _ int) {
+				l.ForwardRange(lo, hi, bottom, top)
+			})
+		}
+	})
+}
+
+// Backward implements Engine.
+func (e *Coarse) Backward(l layers.Layer, bottom, top []*blob.Blob) {
+	n := l.BackwardExtent()
+	if n == 0 {
+		return
+	}
+	params := l.Params()
+	workers := e.pool.Workers()
+	if len(params) == 0 || workers == 1 {
+		// Nothing to privatize: bottom-diff writes are disjoint by the
+		// layer contract, so the plain parallel loop is already race-free.
+		backwardHooks(l, bottom, top, func() {
+			e.parFor(n, func(lo, hi, _ int) {
+				l.BackwardRange(lo, hi, bottom, top, params)
+			})
+		})
+		return
+	}
+	if p, ok := l.(layers.BackwardPreparer); ok {
+		p.BackwardPrepare(bottom, top)
+	}
+
+	// Object privatization (Algorithm 5 lines 3-5): per-rank private
+	// gradient blobs, zero-initialized inside the parallel region.
+	privs := make([][]*blob.Blob, workers)
+	var next int64
+	dynChunk := par.DefaultDynamicChunk(n, workers)
+	e.pool.Region(func(rank int) {
+		pg := make([]*blob.Blob, len(params))
+		for i, p := range params {
+			pg[i] = e.arenas[rank].take(p.Shape())
+		}
+		privs[rank] = pg
+		if e.schedule == DynamicSchedule {
+			for {
+				lo := int(atomic.AddInt64(&next, int64(dynChunk))) - dynChunk
+				if lo >= n {
+					return
+				}
+				hi := lo + dynChunk
+				if hi > n {
+					hi = n
+				}
+				l.BackwardRange(lo, hi, bottom, top, pg)
+			}
+		}
+		lo, hi := par.Chunk(n, workers, rank)
+		if lo < hi {
+			l.BackwardRange(lo, hi, bottom, top, pg)
+		}
+	})
+
+	// Gradient merge (Algorithm 5 lines 22-23).
+	switch e.reduction {
+	case OrderedReduction:
+		e.pool.Ordered(func(rank int) {
+			for i, p := range params {
+				p.AccumulateDiffFrom(privs[rank][i])
+			}
+		})
+	case TreeReduction:
+		e.pool.ReduceTree(func(dst, src int) {
+			for i := range params {
+				privs[dst][i].AccumulateDiffFrom(privs[src][i])
+			}
+		})
+		for i, p := range params {
+			p.AccumulateDiffFrom(privs[0][i])
+		}
+	}
+
+	for rank, pg := range privs {
+		for _, b := range pg {
+			e.arenas[rank].put(b)
+		}
+	}
+	if f, ok := l.(layers.BackwardFinisher); ok {
+		f.BackwardFinish(bottom, top)
+	}
+}
+
+// ScratchBytes implements Engine: the privatization overhead of §3.2.1.
+func (e *Coarse) ScratchBytes() int64 {
+	var n int64
+	for i := range e.arenas {
+		n += e.arenas[i].bytes()
+	}
+	return n
+}
+
+// Close implements Engine.
+func (e *Coarse) Close() { e.pool.Close() }

@@ -1,0 +1,70 @@
+// Package core implements the paper's primary contribution: the execution
+// engines that parallelize a layer's forward and backward passes.
+//
+// Four engines mirror the paper's four measured configurations:
+//
+//   - Sequential — the serial baseline every speedup is measured against.
+//   - Coarse — the coarse-grain, batch-level parallelization (§3): the
+//     layer's coalesced loop is statically scheduled across a worker team,
+//     parameter gradients are privatized per worker and merged with an
+//     ordered reduction (Algorithms 4 and 5). This engine is
+//     *network-agnostic*: it only uses the generic Layer interface, never
+//     a layer-specific kernel.
+//   - Fine — the plain-GPU analogue: layers providing a fine-grain
+//     implementation (parallelism inside the BLAS/inner loops, §3.1.1/
+//     §3.1.2) use it; the rest run serially.
+//   - Tuned — the cuDNN analogue: like Fine, but layers providing a
+//     restructured optimized kernel (im2col+GEMM convolution) use that.
+//
+// Engines are deliberately unaware of networks and solvers; package net
+// composes them.
+package core
+
+import (
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/layers"
+)
+
+// Engine executes single-layer passes under some parallelization strategy.
+type Engine interface {
+	// Name identifies the strategy ("sequential", "coarse", ...).
+	Name() string
+	// Workers returns the size of the worker team (1 for sequential).
+	Workers() int
+	// Forward runs l's forward pass (prepare hook, parallel region,
+	// finish hook).
+	Forward(l layers.Layer, bottom, top []*blob.Blob)
+	// Backward runs l's backward pass. Parameter gradients are
+	// ACCUMULATED into l.Params() diffs; callers (the solver) zero them
+	// at the start of an iteration.
+	Backward(l layers.Layer, bottom, top []*blob.Blob)
+	// ScratchBytes reports the engine's private-storage footprint — the
+	// paper's §3.2.1 memory-overhead metric. Zero for engines without
+	// privatization.
+	ScratchBytes() int64
+	// Close releases the worker team.
+	Close()
+}
+
+// forwardHooks runs the serial prepare hook, the supplied parallel body,
+// and the serial finish hook — the common engine skeleton.
+func forwardHooks(l layers.Layer, bottom, top []*blob.Blob, body func()) {
+	if p, ok := l.(layers.ForwardPreparer); ok {
+		p.ForwardPrepare(bottom, top)
+	}
+	body()
+	if f, ok := l.(layers.ForwardFinisher); ok {
+		f.ForwardFinish(bottom, top)
+	}
+}
+
+// backwardHooks is the backward-pass counterpart of forwardHooks.
+func backwardHooks(l layers.Layer, bottom, top []*blob.Blob, body func()) {
+	if p, ok := l.(layers.BackwardPreparer); ok {
+		p.BackwardPrepare(bottom, top)
+	}
+	body()
+	if f, ok := l.(layers.BackwardFinisher); ok {
+		f.BackwardFinish(bottom, top)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/par"
+)
+
+// Fine is the fine-grain engine, the analogue of the paper's "plain-GPU"
+// configuration: parallelism lives *inside* each layer's linear-algebra
+// kernels (§3.1.1 BLAS-level / §3.1.2 blob-level), which requires a
+// per-layer fine-grain implementation — the recoding effort the paper
+// contrasts with the network-agnostic coarse approach. Layers without a
+// fine implementation fall back to serial execution.
+//
+// With tuned=true the engine becomes the cuDNN analogue: layers providing
+// a restructured optimized kernel (TunedForwarder/TunedBackwarder — the
+// im2col+GEMM convolution) use it in preference to the plain fine kernel.
+type Fine struct {
+	pool  *par.Pool
+	tuned bool
+}
+
+// NewFine creates the plain fine-grain engine.
+func NewFine(workers int) *Fine { return &Fine{pool: par.NewPool(workers)} }
+
+// NewTuned creates the tuned fine-grain engine (cuDNN analogue).
+func NewTuned(workers int) *Fine { return &Fine{pool: par.NewPool(workers), tuned: true} }
+
+// Name implements Engine.
+func (e *Fine) Name() string {
+	if e.tuned {
+		return "tuned"
+	}
+	return "fine"
+}
+
+// Workers implements Engine.
+func (e *Fine) Workers() int { return e.pool.Workers() }
+
+// Forward implements Engine.
+func (e *Fine) Forward(l layers.Layer, bottom, top []*blob.Blob) {
+	forwardHooks(l, bottom, top, func() {
+		if e.tuned {
+			if tf, ok := l.(layers.TunedForwarder); ok {
+				tf.ForwardTuned(e.pool, bottom, top)
+				return
+			}
+		}
+		if ff, ok := l.(layers.FineForwarder); ok {
+			ff.ForwardFine(e.pool, bottom, top)
+			return
+		}
+		if n := l.ForwardExtent(); n > 0 {
+			l.ForwardRange(0, n, bottom, top)
+		}
+	})
+}
+
+// Backward implements Engine.
+func (e *Fine) Backward(l layers.Layer, bottom, top []*blob.Blob) {
+	if e.tuned {
+		if tb, ok := l.(layers.TunedBackwarder); ok {
+			backwardHooks(l, bottom, top, func() { tb.BackwardTuned(e.pool, bottom, top) })
+			return
+		}
+	}
+	if fb, ok := l.(layers.FineBackwarder); ok {
+		backwardHooks(l, bottom, top, func() { fb.BackwardFine(e.pool, bottom, top) })
+		return
+	}
+	if n := l.BackwardExtent(); n > 0 {
+		backwardHooks(l, bottom, top, func() {
+			l.BackwardRange(0, n, bottom, top, l.Params())
+		})
+	}
+}
+
+// ScratchBytes implements Engine: the fine engines privatize nothing.
+func (e *Fine) ScratchBytes() int64 { return 0 }
+
+// Close implements Engine.
+func (e *Fine) Close() { e.pool.Close() }

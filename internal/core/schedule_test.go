@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestScheduleString(t *testing.T) {
+	if StaticSchedule.String() != "static" || DynamicSchedule.String() != "dynamic" {
+		t.Fatal("schedule strings wrong")
+	}
+}
+
+func TestDynamicForwardBitIdenticalToStatic(t *testing.T) {
+	// Forward writes are indexed by iteration, so the schedule cannot
+	// change the result — only the assignment of iterations to workers.
+	lRef, botRef, topRef := buildConv(t, 31)
+	es := NewCoarseWithSchedule(4, StaticSchedule)
+	es.Forward(lRef, botRef, topRef)
+	es.Close()
+
+	l, bot, top := buildConv(t, 31)
+	ed := NewCoarseWithSchedule(4, DynamicSchedule)
+	if ed.Schedule() != DynamicSchedule {
+		t.Fatal("schedule lost")
+	}
+	ed.Forward(l, bot, top)
+	ed.Close()
+	for i := range topRef[0].Data() {
+		if top[0].Data()[i] != topRef[0].Data()[i] {
+			t.Fatalf("dynamic forward differs at %d", i)
+		}
+	}
+}
+
+func TestDynamicBackwardCorrectWithinTolerance(t *testing.T) {
+	// Dynamic scheduling reassociates the per-rank gradient sums, so the
+	// result matches sequential only within float tolerance (this is the
+	// determinism the paper gives up without static+ordered execution).
+	lRef, botRef, topRef := buildConv(t, 37)
+	seq := NewSequential()
+	seq.Forward(lRef, botRef, topRef)
+	seedTopDiff(topRef, 37)
+	for _, p := range lRef.Params() {
+		p.ZeroDiff()
+	}
+	seq.Backward(lRef, botRef, topRef)
+
+	l, bot, top := buildConv(t, 37)
+	ed := NewCoarseWithSchedule(4, DynamicSchedule)
+	defer ed.Close()
+	ed.Forward(l, bot, top)
+	seedTopDiff(top, 37)
+	for _, p := range l.Params() {
+		p.ZeroDiff()
+	}
+	ed.Backward(l, bot, top)
+	// Bottom diffs are exact (disjoint writes); param grads within tol.
+	if d := maxAbsDiff(bot[0].Diff(), botRef[0].Diff()); d != 0 {
+		t.Fatalf("dynamic bottom diff differs by %g", d)
+	}
+	for pi := range l.Params() {
+		if d := maxAbsDiff(l.Params()[pi].Diff(), lRef.Params()[pi].Diff()); d > 1e-3 {
+			t.Fatalf("dynamic param %d grad deviates by %g", pi, d)
+		}
+	}
+}
+
+func TestDynamicBackwardNoParamsPath(t *testing.T) {
+	// The no-privatization path must also work under dynamic scheduling.
+	l, bot, top := buildConv(t, 41)
+	l.SetPropagateDown([]bool{true})
+	ed := NewCoarseWithSchedule(3, DynamicSchedule)
+	defer ed.Close()
+	ed.Forward(l, bot, top)
+	seedTopDiff(top, 41)
+	for _, p := range l.Params() {
+		p.ZeroDiff()
+	}
+	ed.Backward(l, bot, top)
+	if l.Params()[0].AsumDiff() == 0 {
+		t.Fatal("no gradient computed under dynamic schedule")
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/layers"
+)
+
+// Sequential executes every layer pass on the calling goroutine — the
+// 1-thread baseline of the paper's evaluation.
+type Sequential struct{}
+
+// NewSequential creates the serial engine.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Name implements Engine.
+func (*Sequential) Name() string { return "sequential" }
+
+// Workers implements Engine.
+func (*Sequential) Workers() int { return 1 }
+
+// Forward implements Engine.
+func (*Sequential) Forward(l layers.Layer, bottom, top []*blob.Blob) {
+	forwardHooks(l, bottom, top, func() {
+		if n := l.ForwardExtent(); n > 0 {
+			l.ForwardRange(0, n, bottom, top)
+		}
+	})
+}
+
+// Backward implements Engine. Parameter gradients accumulate directly into
+// the parameter blobs' diffs.
+func (*Sequential) Backward(l layers.Layer, bottom, top []*blob.Blob) {
+	n := l.BackwardExtent()
+	if n == 0 {
+		return
+	}
+	backwardHooks(l, bottom, top, func() {
+		l.BackwardRange(0, n, bottom, top, l.Params())
+	})
+}
+
+// ScratchBytes implements Engine.
+func (*Sequential) ScratchBytes() int64 { return 0 }
+
+// Close implements Engine.
+func (*Sequential) Close() {}

@@ -1,0 +1,93 @@
+// Package data provides the dataset substrates for the two benchmarks the
+// paper evaluates: MNIST (28x28x1 grayscale digits, 10 classes) and
+// CIFAR-10 (32x32x3 color images, 10 classes).
+//
+// The real datasets are not redistributable inside this repository, so the
+// default sources are *deterministic synthetic generators* that preserve
+// every property the paper's measurements depend on — sample dimensions,
+// channel counts, class count, value range — and remain learnable (the
+// benchmark networks reach high accuracy on them), which is what the
+// convergence experiments need. When the real files are present on disk,
+// the loaders in idx.go and cifarbin.go read them instead (see
+// LoadMNIST/LoadCIFAR10 auto-detection).
+package data
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/layers"
+)
+
+// InMemory is a materialized dataset: all samples resident as float32.
+type InMemory struct {
+	shape   []int // (C, H, W)
+	classes int
+	samples [][]float32
+	labels  []int
+}
+
+var _ layers.Source = (*InMemory)(nil)
+
+// NewInMemory creates an empty in-memory dataset with the given sample
+// shape and class count.
+func NewInMemory(shape []int, classes int) *InMemory {
+	return &InMemory{shape: append([]int(nil), shape...), classes: classes}
+}
+
+// Add appends one sample. The pixel slice is retained, not copied.
+func (d *InMemory) Add(pixels []float32, label int) error {
+	want := 1
+	for _, s := range d.shape {
+		want *= s
+	}
+	if len(pixels) != want {
+		return fmt.Errorf("data: sample has %d values, want %d", len(pixels), want)
+	}
+	if label < 0 || label >= d.classes {
+		return fmt.Errorf("data: label %d out of range [0,%d)", label, d.classes)
+	}
+	d.samples = append(d.samples, pixels)
+	d.labels = append(d.labels, label)
+	return nil
+}
+
+// Len implements layers.Source.
+func (d *InMemory) Len() int { return len(d.samples) }
+
+// SampleShape implements layers.Source.
+func (d *InMemory) SampleShape() []int { return d.shape }
+
+// Classes implements layers.Source.
+func (d *InMemory) Classes() int { return d.classes }
+
+// Read implements layers.Source.
+func (d *InMemory) Read(i int, out []float32) int {
+	copy(out, d.samples[i])
+	return d.labels[i]
+}
+
+// Subset is a view of the first n samples of a source — used to size
+// training runs without copying.
+type Subset struct {
+	Src layers.Source
+	N   int
+}
+
+var _ layers.Source = (*Subset)(nil)
+
+// Len implements layers.Source.
+func (s Subset) Len() int {
+	if s.N < s.Src.Len() {
+		return s.N
+	}
+	return s.Src.Len()
+}
+
+// SampleShape implements layers.Source.
+func (s Subset) SampleShape() []int { return s.Src.SampleShape() }
+
+// Classes implements layers.Source.
+func (s Subset) Classes() int { return s.Src.Classes() }
+
+// Read implements layers.Source.
+func (s Subset) Read(i int, out []float32) int { return s.Src.Read(i, out) }

@@ -1,0 +1,69 @@
+package data
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/layers"
+)
+
+// Shard presents one replica's slice of a data stream for synchronous
+// data-parallel training (the paper's multi-GPU compatibility, §1): a
+// global batch of GlobalBatch samples is split into Replicas contiguous
+// shards, and replica r sees exactly the samples
+//
+//	[g*GlobalBatch + r*localBatch, g*GlobalBatch + (r+1)*localBatch)
+//
+// of every global batch g. Training R replicas on their shards and
+// summing their gradients therefore computes exactly the same global-batch
+// gradient as one device processing the whole batch — which is what keeps
+// the convergence invariant (no training parameter changes).
+type Shard struct {
+	src         layers.Source
+	replica     int
+	replicas    int
+	globalBatch int
+	localBatch  int
+}
+
+var _ layers.Source = (*Shard)(nil)
+
+// NewShard creates replica `replica` of `replicas` over src with the given
+// global batch size. The global batch must divide evenly by the replica
+// count, and the source length by the global batch (so epochs align
+// across replicas).
+func NewShard(src layers.Source, replica, replicas, globalBatch int) (*Shard, error) {
+	if replicas < 1 || replica < 0 || replica >= replicas {
+		return nil, fmt.Errorf("data: bad shard %d of %d", replica, replicas)
+	}
+	if globalBatch%replicas != 0 {
+		return nil, fmt.Errorf("data: global batch %d not divisible by %d replicas", globalBatch, replicas)
+	}
+	if src.Len()%globalBatch != 0 {
+		return nil, fmt.Errorf("data: source length %d not divisible by global batch %d", src.Len(), globalBatch)
+	}
+	return &Shard{
+		src: src, replica: replica, replicas: replicas,
+		globalBatch: globalBatch, localBatch: globalBatch / replicas,
+	}, nil
+}
+
+// LocalBatch returns the per-replica batch size.
+func (s *Shard) LocalBatch() int { return s.localBatch }
+
+// Len implements layers.Source.
+func (s *Shard) Len() int { return s.src.Len() / s.replicas }
+
+// SampleShape implements layers.Source.
+func (s *Shard) SampleShape() []int { return s.src.SampleShape() }
+
+// Classes implements layers.Source.
+func (s *Shard) Classes() int { return s.src.Classes() }
+
+// Read implements layers.Source: local index i maps into global batch
+// i/localBatch at in-shard position i%localBatch.
+func (s *Shard) Read(i int, out []float32) int {
+	g := i / s.localBatch
+	pos := i % s.localBatch
+	global := g*s.globalBatch + s.replica*s.localBatch + pos
+	return s.src.Read(global%s.src.Len(), out)
+}

@@ -1,0 +1,124 @@
+package data
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/rng"
+)
+
+// Transform mirrors Caffe's transform_param: per-sample preprocessing
+// applied between the raw source and the network — scaling, mean
+// subtraction, random crops and horizontal mirroring (the augmentations
+// Caffe's CIFAR/ImageNet training relies on).
+//
+// Augmentation randomness is drawn from a stream derived from (seed,
+// sample index, epoch pass), so a Transformed source remains a pure
+// function of its inputs: safe for concurrent Read and identical across
+// engines and worker counts — augmentation does not break convergence
+// invariance.
+type Transform struct {
+	// Scale multiplies every value (0 = keep; Caffe default 1).
+	Scale float32
+	// MeanValue is subtracted per channel before scaling (one value for
+	// all channels, or one per channel).
+	MeanValue []float32
+	// Crop extracts a CropxCrop patch: random position in train mode,
+	// center in test mode. 0 disables cropping.
+	Crop int
+	// Mirror enables random horizontal flips in train mode.
+	Mirror bool
+	// Train selects random (true) vs deterministic (false) crops/flips.
+	Train bool
+	// Seed drives the augmentation stream.
+	Seed uint64
+}
+
+// Transformed wraps a source with a Transform.
+type Transformed struct {
+	src  layers.Source
+	tr   Transform
+	c    int // channels
+	h, w int // source spatial dims
+	oh   int // output spatial dims (after crop)
+	ow   int
+}
+
+var _ layers.Source = (*Transformed)(nil)
+
+// NewTransformed wraps src. It validates the transform against the source
+// shape.
+func NewTransformed(src layers.Source, tr Transform) (*Transformed, error) {
+	ss := src.SampleShape()
+	if len(ss) != 3 {
+		return nil, fmt.Errorf("data: transform needs (C,H,W) sources, got %v", ss)
+	}
+	t := &Transformed{src: src, tr: tr, c: ss[0], h: ss[1], w: ss[2], oh: ss[1], ow: ss[2]}
+	if tr.Crop != 0 {
+		if tr.Crop <= 0 || tr.Crop > t.h || tr.Crop > t.w {
+			return nil, fmt.Errorf("data: crop %d does not fit %dx%d", tr.Crop, t.h, t.w)
+		}
+		t.oh, t.ow = tr.Crop, tr.Crop
+	}
+	if n := len(tr.MeanValue); n != 0 && n != 1 && n != t.c {
+		return nil, fmt.Errorf("data: %d mean values for %d channels", n, t.c)
+	}
+	return t, nil
+}
+
+// Len implements layers.Source.
+func (t *Transformed) Len() int { return t.src.Len() }
+
+// SampleShape implements layers.Source.
+func (t *Transformed) SampleShape() []int { return []int{t.c, t.oh, t.ow} }
+
+// Classes implements layers.Source.
+func (t *Transformed) Classes() int { return t.src.Classes() }
+
+// Read implements layers.Source.
+func (t *Transformed) Read(i int, out []float32) int {
+	raw := make([]float32, t.c*t.h*t.w)
+	label := t.src.Read(i, raw)
+
+	// Decide crop offset and mirroring.
+	offH := (t.h - t.oh) / 2
+	offW := (t.w - t.ow) / 2
+	mirror := false
+	if t.tr.Train {
+		r := rng.New(t.tr.Seed^0xA5A5A5A5, uint64(i)+1)
+		if t.tr.Crop != 0 {
+			offH = r.Intn(t.h - t.oh + 1)
+			offW = r.Intn(t.w - t.ow + 1)
+		}
+		if t.tr.Mirror {
+			mirror = r.Bernoulli(0.5)
+		}
+	}
+
+	scale := t.tr.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	for c := 0; c < t.c; c++ {
+		var mean float32
+		switch len(t.tr.MeanValue) {
+		case 1:
+			mean = t.tr.MeanValue[0]
+		case 0:
+		default:
+			mean = t.tr.MeanValue[c]
+		}
+		for y := 0; y < t.oh; y++ {
+			srcRow := raw[(c*t.h+(y+offH))*t.w:]
+			dstRow := out[(c*t.oh+y)*t.ow:]
+			for x := 0; x < t.ow; x++ {
+				sx := x + offW
+				if mirror {
+					sx = (t.w - 1) - (x + offW)
+				}
+				dstRow[x] = (srcRow[sx] - mean) * scale
+			}
+		}
+	}
+	return label
+}

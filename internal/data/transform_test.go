@@ -1,0 +1,192 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+// gridSource produces a single deterministic sample whose pixel value at
+// (c, y, x) is c*10000 + y*100 + x — handy for checking geometry.
+type gridSource struct{ c, h, w int }
+
+func (g gridSource) Len() int           { return 4 }
+func (g gridSource) SampleShape() []int { return []int{g.c, g.h, g.w} }
+func (g gridSource) Classes() int       { return 4 }
+func (g gridSource) Read(i int, out []float32) int {
+	for c := 0; c < g.c; c++ {
+		for y := 0; y < g.h; y++ {
+			for x := 0; x < g.w; x++ {
+				out[(c*g.h+y)*g.w+x] = float32(c*10000 + y*100 + x)
+			}
+		}
+	}
+	return i
+}
+
+func TestTransformIdentity(t *testing.T) {
+	src := gridSource{c: 2, h: 4, w: 4}
+	tr, err := NewTransformed(src, Transform{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float32, 2*4*4)
+	out := make([]float32, 2*4*4)
+	src.Read(0, raw)
+	if lab := tr.Read(0, out); lab != 0 {
+		t.Fatalf("label %d", lab)
+	}
+	for i := range raw {
+		if out[i] != raw[i] {
+			t.Fatal("identity transform changed values")
+		}
+	}
+	if tr.Len() != 4 || tr.Classes() != 4 {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestTransformScaleAndMean(t *testing.T) {
+	src := gridSource{c: 2, h: 2, w: 2}
+	tr, err := NewTransformed(src, Transform{Scale: 0.5, MeanValue: []float32{100, 10100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 2*2*2)
+	tr.Read(0, out)
+	// Channel 0 pixel (0,0) = 0; (0 - 100) * 0.5 = -50.
+	if out[0] != -50 {
+		t.Fatalf("out[0] = %v, want -50", out[0])
+	}
+	// Channel 1 pixel (0,0) = 10000; (10000-10100)*0.5 = -50.
+	if out[4] != -50 {
+		t.Fatalf("out[4] = %v, want -50", out[4])
+	}
+}
+
+func TestTransformCenterCrop(t *testing.T) {
+	src := gridSource{c: 1, h: 6, w: 6}
+	tr, err := NewTransformed(src, Transform{Crop: 4}) // test mode: center
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tr.SampleShape(); s[1] != 4 || s[2] != 4 {
+		t.Fatalf("cropped shape %v", s)
+	}
+	out := make([]float32, 16)
+	tr.Read(0, out)
+	// Center crop offset (1,1): top-left output pixel = y=1,x=1 -> 101.
+	if out[0] != 101 {
+		t.Fatalf("center crop top-left = %v, want 101", out[0])
+	}
+}
+
+func TestTransformRandomCropStaysInBounds(t *testing.T) {
+	src := gridSource{c: 1, h: 8, w: 8}
+	tr, err := NewTransformed(src, Transform{Crop: 5, Train: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 25)
+	offsets := map[float32]bool{}
+	for i := 0; i < 4; i++ {
+		tr.Read(i, out)
+		// Top-left value encodes the offset: y*100 + x with y,x in [0,3].
+		v := out[0]
+		y := int(v) / 100
+		x := int(v) % 100
+		if y < 0 || y > 3 || x < 0 || x > 3 {
+			t.Fatalf("crop offset out of bounds: %v", v)
+		}
+		offsets[v] = true
+		// Determinism: same index -> same crop.
+		out2 := make([]float32, 25)
+		tr.Read(i, out2)
+		if out2[0] != v {
+			t.Fatal("random crop not deterministic per index")
+		}
+	}
+}
+
+func TestTransformMirror(t *testing.T) {
+	src := gridSource{c: 1, h: 2, w: 4}
+	tr, err := NewTransformed(src, Transform{Mirror: true, Train: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 8)
+	sawMirrored, sawPlain := false, false
+	for i := 0; i < 4; i++ {
+		tr.Read(i, out)
+		switch out[0] {
+		case 0: // row starts 0,1,2,3
+			sawPlain = true
+			if out[1] != 1 {
+				t.Fatal("plain row wrong")
+			}
+		case 3: // mirrored row starts 3,2,1,0
+			sawMirrored = true
+			if out[1] != 2 {
+				t.Fatal("mirrored row wrong")
+			}
+		default:
+			t.Fatalf("unexpected first pixel %v", out[0])
+		}
+	}
+	if !sawMirrored || !sawPlain {
+		t.Fatalf("mirroring never varied (mirrored=%v plain=%v)", sawMirrored, sawPlain)
+	}
+}
+
+func TestTransformTestModeDeterministic(t *testing.T) {
+	src := NewSyntheticCIFAR(8, 5)
+	tr, err := NewTransformed(src, Transform{Crop: 28, Mirror: true, Train: false, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float32, 3*28*28)
+	b := make([]float32, 3*28*28)
+	tr.Read(3, a)
+	tr.Read(3, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("test-mode transform not deterministic")
+		}
+	}
+}
+
+func TestTransformValidation(t *testing.T) {
+	src := gridSource{c: 2, h: 4, w: 4}
+	if _, err := NewTransformed(src, Transform{Crop: 5}); err == nil {
+		t.Fatal("oversized crop accepted")
+	}
+	if _, err := NewTransformed(src, Transform{MeanValue: []float32{1, 2, 3}}); err == nil {
+		t.Fatal("wrong mean count accepted")
+	}
+	if _, err := NewTransformed(badShapeSource{}, Transform{}); err == nil {
+		t.Fatal("non-CHW source accepted")
+	}
+}
+
+type badShapeSource struct{}
+
+func (badShapeSource) Len() int                { return 1 }
+func (badShapeSource) SampleShape() []int      { return []int{4} }
+func (badShapeSource) Classes() int            { return 2 }
+func (badShapeSource) Read(int, []float32) int { return 0 }
+
+func TestTransformKeepsValuesFinite(t *testing.T) {
+	src := NewSyntheticMNIST(16, 2)
+	tr, err := NewTransformed(src, Transform{Scale: 2, MeanValue: []float32{0.5}, Crop: 24, Mirror: true, Train: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 24*24)
+	for i := 0; i < 16; i++ {
+		tr.Read(i, out)
+		for _, v := range out {
+			if math.IsNaN(float64(v)) || v < -2 || v > 2 {
+				t.Fatalf("value %v out of expected range", v)
+			}
+		}
+	}
+}

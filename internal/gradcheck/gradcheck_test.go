@@ -1,0 +1,103 @@
+package gradcheck
+
+import (
+	"strings"
+	"testing"
+
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/rng"
+)
+
+func randomBlob(r *rng.RNG, lo, hi float32, shape ...int) *blob.Blob {
+	b := blob.New(shape...)
+	for i := range b.Data() {
+		b.Data()[i] = r.Range(lo, hi)
+	}
+	return b
+}
+
+func TestCorrectLayersPass(t *testing.T) {
+	r := rng.New(1, 1)
+	conv, err := layers.NewConvolution("c", layers.ConvConfig{
+		NumOutput: 3, Kernel: 3, Pad: 1,
+		WeightFiller: layers.GaussianFiller{Std: 0.3}, RNG: r.Split(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := Check(conv, []*blob.Blob{randomBlob(r, -1, 1, 2, 2, 5, 5)},
+		Config{Eps: 1e-2, CheckParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) != 0 {
+		t.Fatalf("correct conv reported mismatches: %v", mis)
+	}
+
+	bn, err := layers.NewBatchNorm("bn", layers.BNConfig{Eps: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err = Check(bn, []*blob.Blob{randomBlob(r, -1, 1, 4, 2, 3, 3)},
+		Config{Tol: 3e-2, CheckParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) != 0 {
+		t.Fatalf("correct batchnorm reported mismatches: %v", mis)
+	}
+}
+
+// brokenLayer is a ReLU whose backward drops a factor of 2 — the checker
+// must catch it.
+type brokenLayer struct {
+	layers.Layer
+}
+
+func (b *brokenLayer) BackwardRange(lo, hi int, bottom, top []*blob.Blob, pg []*blob.Blob) {
+	b.Layer.BackwardRange(lo, hi, bottom, top, pg)
+	for i := range bottom[0].Diff() {
+		bottom[0].Diff()[i] *= 0.5 // the bug
+	}
+}
+
+func TestBrokenLayerCaught(t *testing.T) {
+	r := rng.New(2, 1)
+	l := &brokenLayer{Layer: layers.NewSigmoid("s")}
+	mis, err := Check(l, []*blob.Blob{randomBlob(r, -2, 2, 3, 4)}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) == 0 {
+		t.Fatal("broken backward not caught")
+	}
+	if !strings.Contains(mis[0].String(), "bottom0") {
+		t.Fatalf("mismatch report malformed: %v", mis[0])
+	}
+}
+
+func TestCheckBottomsSelection(t *testing.T) {
+	// SoftmaxWithLoss: label bottom has no gradient; restrict to bottom 0.
+	r := rng.New(3, 1)
+	scores := randomBlob(r, -2, 2, 4, 5)
+	labels := blob.New(4)
+	for s := 0; s < 4; s++ {
+		labels.Data()[s] = float32(r.Intn(5))
+	}
+	mis, err := Check(layers.NewSoftmaxWithLoss("loss"),
+		[]*blob.Blob{scores, labels}, Config{CheckBottoms: []bool{true, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) != 0 {
+		t.Fatalf("softmax loss mismatches: %v", mis)
+	}
+}
+
+func TestSetUpErrorPropagates(t *testing.T) {
+	conv, _ := layers.NewConvolution("c", layers.ConvConfig{NumOutput: 1, Kernel: 3})
+	if _, err := Check(conv, []*blob.Blob{blob.New(4, 4)}, Config{}); err == nil {
+		t.Fatal("SetUp error not propagated")
+	}
+}

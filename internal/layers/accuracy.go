@@ -1,0 +1,95 @@
+package layers
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/blob"
+)
+
+// Accuracy computes top-K classification accuracy. Bottom 0 carries scores
+// (S x C), bottom 1 labels (S); the top is a 1-element blob with the
+// fraction of samples whose true label is among the K highest scores.
+// Accuracy has no backward pass.
+type Accuracy struct {
+	base
+	topK         int
+	num, classes int
+	correct      []float32
+}
+
+// NewAccuracy creates an accuracy layer (topK defaults to 1 when < 1).
+func NewAccuracy(name string, topK int) *Accuracy {
+	if topK < 1 {
+		topK = 1
+	}
+	return &Accuracy{base: base{name: name, typ: "Accuracy"}, topK: topK}
+}
+
+// SetUp implements Layer.
+func (l *Accuracy) SetUp(bottom, top []*blob.Blob) error {
+	if err := checkBottomTop(l, bottom, top, 2, 1); err != nil {
+		return err
+	}
+	if bottom[0].AxisCount() < 2 {
+		return fmt.Errorf("layer %s: scores need >= 2 axes, got %v", l.name, bottom[0].Shape())
+	}
+	if bottom[1].Dim(0) != bottom[0].Dim(0) {
+		return fmt.Errorf("layer %s: label batch %d != score batch %d", l.name, bottom[1].Dim(0), bottom[0].Dim(0))
+	}
+	l.Reshape(bottom, top)
+	return nil
+}
+
+// Reshape implements Layer.
+func (l *Accuracy) Reshape(bottom, top []*blob.Blob) {
+	l.num = bottom[0].Dim(0)
+	l.classes = bottom[0].CountFrom(1)
+	if cap(l.correct) < l.num {
+		l.correct = make([]float32, l.num)
+	}
+	l.correct = l.correct[:l.num]
+	top[0].Reshape(1)
+}
+
+// ForwardExtent implements Layer.
+func (l *Accuracy) ForwardExtent() int { return l.num }
+
+// ForwardRange implements Layer.
+func (l *Accuracy) ForwardRange(lo, hi int, bottom, top []*blob.Blob) {
+	labels := bottom[1].Data()
+	for s := lo; s < hi; s++ {
+		scores := bottom[0].Data()[s*l.classes : (s+1)*l.classes]
+		lab := int(labels[s])
+		if lab < 0 || lab >= l.classes {
+			panic(fmt.Sprintf("layer %s: label %d out of range [0,%d)", l.name, lab, l.classes))
+		}
+		// The label is in the top K iff fewer than K classes score
+		// strictly higher than it.
+		higher := 0
+		for c, v := range scores {
+			if v > scores[lab] || (v == scores[lab] && c < lab) {
+				higher++
+			}
+		}
+		if higher < l.topK {
+			l.correct[s] = 1
+		} else {
+			l.correct[s] = 0
+		}
+	}
+}
+
+// ForwardFinish implements ForwardFinisher.
+func (l *Accuracy) ForwardFinish(bottom, top []*blob.Blob) {
+	var sum float32
+	for _, v := range l.correct {
+		sum += v
+	}
+	top[0].Data()[0] = sum / float32(l.num)
+}
+
+// BackwardExtent implements Layer: accuracy has no gradient.
+func (l *Accuracy) BackwardExtent() int { return 0 }
+
+// BackwardRange implements Layer (never called: extent is 0).
+func (l *Accuracy) BackwardRange(lo, hi int, bottom, top []*blob.Blob, _ []*blob.Blob) {}

@@ -1,0 +1,166 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/par"
+)
+
+// elementwise is the shared machinery of activation layers: the top has the
+// bottom's shape, both passes coalesce the (sample, channel) loops and each
+// iteration transforms one contiguous plane. These layers are the center of
+// the paper's u-shaped scalability curves — tiny granularity, negligible
+// total weight.
+type elementwise struct {
+	base
+	// fwd maps an input value to an output value.
+	fwd func(x float32) float32
+	// bwd maps (input value, output value, output gradient) to the input
+	// gradient.
+	bwd func(x, y, dy float32) float32
+
+	extent, plane int
+	propagateDown bool
+}
+
+// CanRunInPlace implements InPlacer: every activation here differentiates
+// through its output (or a sign test the output preserves), so top may
+// alias bottom.
+func (l *elementwise) CanRunInPlace() bool { return true }
+
+// SetPropagateDown implements the optional propagation control.
+func (l *elementwise) SetPropagateDown(flags []bool) {
+	if len(flags) > 0 {
+		l.propagateDown = flags[0]
+	}
+}
+
+// SetUp implements Layer.
+func (l *elementwise) SetUp(bottom, top []*blob.Blob) error {
+	if err := checkBottomTop(l, bottom, top, 1, 1); err != nil {
+		return err
+	}
+	if bottom[0].AxisCount() < 1 {
+		return fmt.Errorf("layer %s: scalar bottom not supported", l.name)
+	}
+	l.Reshape(bottom, top)
+	return nil
+}
+
+// Reshape implements Layer.
+func (l *elementwise) Reshape(bottom, top []*blob.Blob) {
+	top[0].ReshapeLike(bottom[0])
+	l.extent = planeExtent(bottom[0])
+	l.plane = planeSize(bottom[0])
+}
+
+// ForwardExtent implements Layer.
+func (l *elementwise) ForwardExtent() int { return l.extent }
+
+// ForwardRange implements Layer.
+func (l *elementwise) ForwardRange(lo, hi int, bottom, top []*blob.Blob) {
+	in := bottom[0].Data()
+	out := top[0].Data()
+	for i := lo * l.plane; i < hi*l.plane; i++ {
+		out[i] = l.fwd(in[i])
+	}
+}
+
+// BackwardExtent implements Layer.
+func (l *elementwise) BackwardExtent() int {
+	if !l.propagateDown {
+		return 0
+	}
+	return l.extent
+}
+
+// BackwardRange implements Layer.
+func (l *elementwise) BackwardRange(lo, hi int, bottom, top []*blob.Blob, _ []*blob.Blob) {
+	in := bottom[0].Data()
+	out := top[0].Data()
+	outDiff := top[0].Diff()
+	inDiff := bottom[0].Diff()
+	for i := lo * l.plane; i < hi*l.plane; i++ {
+		inDiff[i] = l.bwd(in[i], out[i], outDiff[i])
+	}
+}
+
+// ForwardFine implements FineForwarder: elementwise kernels map perfectly
+// to fine-grain threads (the paper's ReLU GPU speedups); we split the flat
+// element range.
+func (l *elementwise) ForwardFine(p *par.Pool, bottom, top []*blob.Blob) {
+	in := bottom[0].Data()
+	out := top[0].Data()
+	p.For(len(in), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			out[i] = l.fwd(in[i])
+		}
+	})
+}
+
+// BackwardFine implements FineBackwarder.
+func (l *elementwise) BackwardFine(p *par.Pool, bottom, top []*blob.Blob) {
+	if !l.propagateDown {
+		return
+	}
+	in := bottom[0].Data()
+	out := top[0].Data()
+	outDiff := top[0].Diff()
+	inDiff := bottom[0].Diff()
+	p.For(len(in), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			inDiff[i] = l.bwd(in[i], out[i], outDiff[i])
+		}
+	})
+}
+
+// NewReLU creates a rectified linear unit layer: y = max(x, 0), with an
+// optional leaky negative slope (Caffe negative_slope).
+func NewReLU(name string, negativeSlope float32) *elementwise {
+	return &elementwise{
+		base: base{name: name, typ: "ReLU"},
+		fwd: func(x float32) float32 {
+			if x > 0 {
+				return x
+			}
+			return negativeSlope * x
+		},
+		bwd: func(x, _, dy float32) float32 {
+			if x > 0 {
+				return dy
+			}
+			return negativeSlope * dy
+		},
+		propagateDown: true,
+	}
+}
+
+// NewSigmoid creates a logistic sigmoid layer: y = 1/(1+exp(-x)).
+func NewSigmoid(name string) *elementwise {
+	return &elementwise{
+		base: base{name: name, typ: "Sigmoid"},
+		fwd: func(x float32) float32 {
+			return float32(1 / (1 + math.Exp(-float64(x))))
+		},
+		bwd: func(_, y, dy float32) float32 {
+			return dy * y * (1 - y)
+		},
+		propagateDown: true,
+	}
+}
+
+// NewTanH creates a hyperbolic tangent layer.
+func NewTanH(name string) *elementwise {
+	return &elementwise{
+		base: base{name: name, typ: "TanH"},
+		fwd: func(x float32) float32 {
+			return float32(math.Tanh(float64(x)))
+		},
+		bwd: func(_, y, dy float32) float32 {
+			return dy * (1 - y*y)
+		},
+		propagateDown: true,
+	}
+}

@@ -1,0 +1,479 @@
+package layers
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/blas"
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/par"
+	"coarsegrain/internal/rng"
+)
+
+// ConvConfig configures a Convolution layer. Kernel is required; Pad and
+// Stride default to 0 and 1. Per-axis values (KernelH...) override the
+// square settings when non-zero.
+type ConvConfig struct {
+	NumOutput          int
+	Kernel             int
+	KernelH, KernelW   int
+	Pad                int
+	PadH, PadW         int
+	Stride             int
+	StrideH, StrideW   int
+	BiasTerm           bool // NOTE: set via NewConvolution default (true); see WithoutBias
+	NoBias             bool // disable the bias term
+	WeightFiller       Filler
+	BiasFiller         Filler
+	RNG                *rng.RNG
+	DisablePropagation bool // skip gradient w.r.t. bottom (first conv after data)
+	// Lowered selects the im2col+GEMM implementation (Caffe's CPU path)
+	// for the sequential/coarse engines instead of the direct loop nest;
+	// the coalesced unit becomes one sample and each worker privatizes a
+	// column buffer (see conv_lowered.go).
+	Lowered bool
+}
+
+func (c *ConvConfig) normalize() error {
+	if c.NumOutput <= 0 {
+		return fmt.Errorf("convolution: NumOutput must be positive, got %d", c.NumOutput)
+	}
+	if c.KernelH == 0 {
+		c.KernelH = c.Kernel
+	}
+	if c.KernelW == 0 {
+		c.KernelW = c.Kernel
+	}
+	if c.KernelH <= 0 || c.KernelW <= 0 {
+		return fmt.Errorf("convolution: kernel size must be positive, got %dx%d", c.KernelH, c.KernelW)
+	}
+	if c.PadH == 0 {
+		c.PadH = c.Pad
+	}
+	if c.PadW == 0 {
+		c.PadW = c.Pad
+	}
+	if c.StrideH == 0 {
+		c.StrideH = c.Stride
+	}
+	if c.StrideW == 0 {
+		c.StrideW = c.Stride
+	}
+	if c.StrideH == 0 {
+		c.StrideH = 1
+	}
+	if c.StrideW == 0 {
+		c.StrideW = 1
+	}
+	if c.WeightFiller == nil {
+		c.WeightFiller = XavierFiller{}
+	}
+	if c.BiasFiller == nil {
+		c.BiasFiller = ConstantFiller{}
+	}
+	if c.RNG == nil {
+		c.RNG = rng.New(1, 1)
+	}
+	return nil
+}
+
+// Convolution is a 2-D convolutional layer (feature learning, §2.2.1).
+//
+// The sequential/coarse-grain implementation is the direct loop nest of
+// Algorithm 2: the forward pass coalesces the two outermost loops (sample,
+// output channel) and computes each output feature map independently; the
+// backward pass coalesces over samples only, because the gradient with
+// respect to the input accumulates contributions from all output channels
+// of the same sample and must stay within one worker to remain race-free.
+//
+// The layer additionally implements the tuned (cuDNN-analogue) path:
+// im2col lowering plus GEMM, with the GEMM rows split across the pool.
+type Convolution struct {
+	base
+	cfg ConvConfig
+
+	// Cached geometry, valid after SetUp/Reshape.
+	num, channels, height, width int
+	outH, outW                   int
+
+	propagateDown bool
+
+	// Scratch for the tuned path: one column buffer (samples are processed
+	// serially in that path, parallelism is inside the GEMM).
+	colBuf []float32
+	// cols hands out per-worker private column buffers for the lowered
+	// path (Algorithm 4's object privatization).
+	cols colBuffers
+}
+
+// NewConvolution creates a convolution layer. It returns an error for
+// invalid configurations.
+func NewConvolution(name string, cfg ConvConfig) (*Convolution, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, fmt.Errorf("layer %s: %w", name, err)
+	}
+	return &Convolution{
+		base:          base{name: name, typ: "Convolution"},
+		cfg:           cfg,
+		propagateDown: !cfg.DisablePropagation,
+	}, nil
+}
+
+// SetPropagateDown lets the net disable the input-gradient computation
+// when the bottom blob needs no gradient (e.g. it comes from a data layer).
+func (l *Convolution) SetPropagateDown(flags []bool) {
+	if len(flags) > 0 {
+		l.propagateDown = flags[0]
+	}
+}
+
+// SetUp implements Layer.
+func (l *Convolution) SetUp(bottom, top []*blob.Blob) error {
+	if err := checkBottomTop(l, bottom, top, 1, 1); err != nil {
+		return err
+	}
+	if bottom[0].AxisCount() != 4 {
+		return fmt.Errorf("layer %s: convolution needs a 4-D bottom, got %v", l.name, bottom[0].Shape())
+	}
+	c := bottom[0].Channels()
+	weights := blob.Named(l.name+"_w", l.cfg.NumOutput, c, l.cfg.KernelH, l.cfg.KernelW)
+	l.cfg.WeightFiller.Fill(weights, l.cfg.RNG)
+	l.params = []*blob.Blob{weights}
+	if !l.cfg.NoBias {
+		bias := blob.Named(l.name+"_b", l.cfg.NumOutput)
+		l.cfg.BiasFiller.Fill(bias, l.cfg.RNG)
+		l.params = append(l.params, bias)
+	}
+	l.Reshape(bottom, top)
+	return nil
+}
+
+// Reshape implements Layer.
+func (l *Convolution) Reshape(bottom, top []*blob.Blob) {
+	b := bottom[0]
+	l.num, l.channels, l.height, l.width = b.Num(), b.Channels(), b.Height(), b.Width()
+	if l.channels != l.params[0].Dim(1) {
+		panic(fmt.Sprintf("layer %s: channel count changed from %d to %d", l.name, l.params[0].Dim(1), l.channels))
+	}
+	l.outH = blas.ConvOutSize(l.height, l.cfg.KernelH, l.cfg.PadH, l.cfg.StrideH)
+	l.outW = blas.ConvOutSize(l.width, l.cfg.KernelW, l.cfg.PadW, l.cfg.StrideW)
+	if l.outH <= 0 || l.outW <= 0 {
+		panic(fmt.Sprintf("layer %s: output size %dx%d not positive", l.name, l.outH, l.outW))
+	}
+	top[0].Reshape(l.num, l.cfg.NumOutput, l.outH, l.outW)
+	colLen := l.channels * l.cfg.KernelH * l.cfg.KernelW * l.outH * l.outW
+	if cap(l.colBuf) < colLen {
+		l.colBuf = make([]float32, colLen)
+	}
+	l.colBuf = l.colBuf[:colLen]
+}
+
+// ForwardExtent implements Layer: in the direct implementation the
+// (sample, output-channel) loops are coalesced, giving S*O small work
+// units (Algorithm 4's civ loop); the lowered implementation's unit is one
+// im2col'd sample, so its extent is S.
+func (l *Convolution) ForwardExtent() int {
+	if l.cfg.Lowered {
+		return l.num
+	}
+	return l.num * l.cfg.NumOutput
+}
+
+// ForwardRange implements Layer.
+func (l *Convolution) ForwardRange(lo, hi int, bottom, top []*blob.Blob) {
+	if l.cfg.Lowered {
+		l.forwardLoweredRange(lo, hi, bottom[0], top[0])
+		return
+	}
+	for civ := lo; civ < hi; civ++ {
+		s := civ / l.cfg.NumOutput
+		o := civ % l.cfg.NumOutput
+		l.forwardOne(s, o, bottom[0], top[0])
+	}
+}
+
+// forwardOne computes output feature map o of sample s by direct
+// convolution.
+func (l *Convolution) forwardOne(s, o int, bottom, top *blob.Blob) {
+	kh, kw := l.cfg.KernelH, l.cfg.KernelW
+	ph, pw := l.cfg.PadH, l.cfg.PadW
+	sh, sw := l.cfg.StrideH, l.cfg.StrideW
+	in := bottom.Data()[s*l.channels*l.height*l.width:]
+	w := l.params[0].Data()[o*l.channels*kh*kw:]
+	out := top.Data()[(s*l.cfg.NumOutput+o)*l.outH*l.outW:]
+	var biasVal float32
+	if !l.cfg.NoBias {
+		biasVal = l.params[1].Data()[o]
+	}
+	for oh := 0; oh < l.outH; oh++ {
+		for ow := 0; ow < l.outW; ow++ {
+			acc := biasVal
+			for c := 0; c < l.channels; c++ {
+				chIn := in[c*l.height*l.width:]
+				chW := w[c*kh*kw:]
+				for ki := 0; ki < kh; ki++ {
+					ih := oh*sh - ph + ki
+					if ih < 0 || ih >= l.height {
+						continue
+					}
+					rowIn := chIn[ih*l.width:]
+					rowW := chW[ki*kw:]
+					for kj := 0; kj < kw; kj++ {
+						iw := ow*sw - pw + kj
+						if iw < 0 || iw >= l.width {
+							continue
+						}
+						acc += rowW[kj] * rowIn[iw]
+					}
+				}
+			}
+			out[oh*l.outW+ow] = acc
+		}
+	}
+}
+
+// BackwardExtent implements Layer: backward coalesces over samples only —
+// all output channels of a sample contribute to the same input-gradient
+// region, so a sample is the smallest race-free unit.
+func (l *Convolution) BackwardExtent() int { return l.num }
+
+// BackwardRange implements Layer.
+func (l *Convolution) BackwardRange(lo, hi int, bottom, top []*blob.Blob, paramGrads []*blob.Blob) {
+	if l.cfg.Lowered {
+		l.backwardLoweredRange(lo, hi, bottom[0], top[0], paramGrads)
+		return
+	}
+	kh, kw := l.cfg.KernelH, l.cfg.KernelW
+	ph, pw := l.cfg.PadH, l.cfg.PadW
+	sh, sw := l.cfg.StrideH, l.cfg.StrideW
+	chw := l.channels * l.height * l.width
+	wData := l.params[0].Data()
+	wGrad := paramGrads[0].Diff()
+	var bGrad []float32
+	if !l.cfg.NoBias {
+		bGrad = paramGrads[1].Diff()
+	}
+	for s := lo; s < hi; s++ {
+		in := bottom[0].Data()[s*chw : (s+1)*chw]
+		inDiff := bottom[0].Diff()[s*chw : (s+1)*chw]
+		if l.propagateDown {
+			for i := range inDiff {
+				inDiff[i] = 0
+			}
+		}
+		for o := 0; o < l.cfg.NumOutput; o++ {
+			outDiff := top[0].Diff()[(s*l.cfg.NumOutput+o)*l.outH*l.outW:]
+			ow0 := o * l.channels * kh * kw
+			for oh := 0; oh < l.outH; oh++ {
+				for ow := 0; ow < l.outW; ow++ {
+					g := outDiff[oh*l.outW+ow]
+					if g == 0 {
+						continue
+					}
+					if bGrad != nil {
+						bGrad[o] += g
+					}
+					for c := 0; c < l.channels; c++ {
+						cw0 := ow0 + c*kh*kw
+						ci0 := c * l.height * l.width
+						for ki := 0; ki < kh; ki++ {
+							ih := oh*sh - ph + ki
+							if ih < 0 || ih >= l.height {
+								continue
+							}
+							for kj := 0; kj < kw; kj++ {
+								iw := ow*sw - pw + kj
+								if iw < 0 || iw >= l.width {
+									continue
+								}
+								widx := cw0 + ki*kw + kj
+								iidx := ci0 + ih*l.width + iw
+								wGrad[widx] += g * in[iidx]
+								if l.propagateDown {
+									inDiff[iidx] += g * wData[widx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ForwardFine implements FineForwarder: the plain-GPU analogue. Samples
+// are walked serially and the output-channel loop of each sample is split
+// across workers — inner-loop parallelism with the modest granularity the
+// paper observes for Caffe's native GPU convolution kernels.
+func (l *Convolution) ForwardFine(p *par.Pool, bottom, top []*blob.Blob) {
+	for s := 0; s < l.num; s++ {
+		s := s
+		p.For(l.cfg.NumOutput, func(olo, ohi, _ int) {
+			for o := olo; o < ohi; o++ {
+				l.forwardOne(s, o, bottom[0], top[0])
+			}
+		})
+	}
+}
+
+// BackwardFine implements FineBackwarder: per sample, the output-channel
+// loop of the weight/bias gradient is split across workers (each worker
+// owns disjoint rows of the weight gradient); the input gradient is then
+// accumulated serially per sample.
+func (l *Convolution) BackwardFine(p *par.Pool, bottom, top []*blob.Blob) {
+	kh, kw := l.cfg.KernelH, l.cfg.KernelW
+	ph, pw := l.cfg.PadH, l.cfg.PadW
+	sh, sw := l.cfg.StrideH, l.cfg.StrideW
+	chw := l.channels * l.height * l.width
+	wData := l.params[0].Data()
+	wGrad := l.params[0].Diff()
+	var bGrad []float32
+	if !l.cfg.NoBias {
+		bGrad = l.params[1].Diff()
+	}
+	for s := 0; s < l.num; s++ {
+		in := bottom[0].Data()[s*chw : (s+1)*chw]
+		inDiff := bottom[0].Diff()[s*chw : (s+1)*chw]
+		if l.propagateDown {
+			for i := range inDiff {
+				inDiff[i] = 0
+			}
+		}
+		// Weight and bias gradients: rows (output channels) are disjoint.
+		p.For(l.cfg.NumOutput, func(olo, ohi, _ int) {
+			for o := olo; o < ohi; o++ {
+				outDiff := top[0].Diff()[(s*l.cfg.NumOutput+o)*l.outH*l.outW:]
+				ow0 := o * l.channels * kh * kw
+				for oh := 0; oh < l.outH; oh++ {
+					for ow := 0; ow < l.outW; ow++ {
+						g := outDiff[oh*l.outW+ow]
+						if g == 0 {
+							continue
+						}
+						if bGrad != nil {
+							bGrad[o] += g
+						}
+						for c := 0; c < l.channels; c++ {
+							cw0 := ow0 + c*kh*kw
+							ci0 := c * l.height * l.width
+							for ki := 0; ki < kh; ki++ {
+								ih := oh*sh - ph + ki
+								if ih < 0 || ih >= l.height {
+									continue
+								}
+								for kj := 0; kj < kw; kj++ {
+									iw := ow*sw - pw + kj
+									if iw < 0 || iw >= l.width {
+										continue
+									}
+									wGrad[cw0+ki*kw+kj] += g * in[ci0+ih*l.width+iw]
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+		if !l.propagateDown {
+			continue
+		}
+		// Input gradient: split across input channels (disjoint writes).
+		p.For(l.channels, func(clo, chi, _ int) {
+			for c := clo; c < chi; c++ {
+				ci0 := c * l.height * l.width
+				for o := 0; o < l.cfg.NumOutput; o++ {
+					outDiff := top[0].Diff()[(s*l.cfg.NumOutput+o)*l.outH*l.outW:]
+					cw0 := o*l.channels*kh*kw + c*kh*kw
+					for oh := 0; oh < l.outH; oh++ {
+						for ow := 0; ow < l.outW; ow++ {
+							g := outDiff[oh*l.outW+ow]
+							if g == 0 {
+								continue
+							}
+							for ki := 0; ki < kh; ki++ {
+								ih := oh*sh - ph + ki
+								if ih < 0 || ih >= l.height {
+									continue
+								}
+								for kj := 0; kj < kw; kj++ {
+									iw := ow*sw - pw + kj
+									if iw < 0 || iw >= l.width {
+										continue
+									}
+									inDiff[ci0+ih*l.width+iw] += g * wData[cw0+ki*kw+kj]
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// ForwardTuned implements TunedForwarder: the cuDNN analogue. Each sample
+// is lowered with im2col and the convolution becomes one GEMM,
+// W (O x CKK) * col (CKK x OHW), with GEMM rows split across the pool.
+func (l *Convolution) ForwardTuned(p *par.Pool, bottom, top []*blob.Blob) {
+	o := l.cfg.NumOutput
+	ckk := l.channels * l.cfg.KernelH * l.cfg.KernelW
+	ohw := l.outH * l.outW
+	w := l.params[0].Data()
+	for s := 0; s < l.num; s++ {
+		im := bottom[0].Data()[s*l.channels*l.height*l.width:]
+		blas.Im2col(im, l.channels, l.height, l.width, l.cfg.KernelH, l.cfg.KernelW,
+			l.cfg.PadH, l.cfg.PadW, l.cfg.StrideH, l.cfg.StrideW, l.colBuf)
+		out := top[0].Data()[s*o*ohw : (s+1)*o*ohw]
+		blas.GemmParallel(p, blas.NoTrans, blas.NoTrans, o, ohw, ckk, 1, w, ckk, l.colBuf, ohw, 0, out, ohw)
+		if !l.cfg.NoBias {
+			bias := l.params[1].Data()
+			p.For(o, func(olo, ohi, _ int) {
+				for oc := olo; oc < ohi; oc++ {
+					blas.AddScalar(out[oc*ohw:(oc+1)*ohw], bias[oc])
+				}
+			})
+		}
+	}
+}
+
+// BackwardTuned implements TunedBackwarder: dW += dTop * col^T and
+// dcol = W^T * dTop per sample, followed by col2im scattering; all GEMMs
+// are row-parallel.
+func (l *Convolution) BackwardTuned(p *par.Pool, bottom, top []*blob.Blob) {
+	o := l.cfg.NumOutput
+	ckk := l.channels * l.cfg.KernelH * l.cfg.KernelW
+	ohw := l.outH * l.outW
+	chw := l.channels * l.height * l.width
+	w := l.params[0].Data()
+	wGrad := l.params[0].Diff()
+	dcol := make([]float32, len(l.colBuf))
+	for s := 0; s < l.num; s++ {
+		im := bottom[0].Data()[s*chw:]
+		outDiff := top[0].Diff()[s*o*ohw : (s+1)*o*ohw]
+		blas.Im2col(im, l.channels, l.height, l.width, l.cfg.KernelH, l.cfg.KernelW,
+			l.cfg.PadH, l.cfg.PadW, l.cfg.StrideH, l.cfg.StrideW, l.colBuf)
+		// dW (O x CKK) += dTop (O x OHW) * col^T (OHW x CKK).
+		blas.GemmParallel(p, blas.NoTrans, blas.Trans, o, ckk, ohw, 1, outDiff, ohw, l.colBuf, ohw, 1, wGrad, ckk)
+		if !l.cfg.NoBias {
+			bGrad := l.params[1].Diff()
+			for oc := 0; oc < o; oc++ {
+				var sum float32
+				row := outDiff[oc*ohw : (oc+1)*ohw]
+				for _, v := range row {
+					sum += v
+				}
+				bGrad[oc] += sum
+			}
+		}
+		if !l.propagateDown {
+			continue
+		}
+		// dcol (CKK x OHW) = W^T (CKK x O) * dTop (O x OHW).
+		blas.GemmParallel(p, blas.Trans, blas.NoTrans, ckk, ohw, o, 1, w, ckk, outDiff, ohw, 0, dcol, ohw)
+		inDiff := bottom[0].Diff()[s*chw : (s+1)*chw]
+		for i := range inDiff {
+			inDiff[i] = 0
+		}
+		blas.Col2im(dcol, l.channels, l.height, l.width, l.cfg.KernelH, l.cfg.KernelW,
+			l.cfg.PadH, l.cfg.PadW, l.cfg.StrideH, l.cfg.StrideW, inDiff)
+	}
+}

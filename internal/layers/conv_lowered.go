@@ -1,0 +1,105 @@
+package layers
+
+import (
+	"sync"
+
+	"coarsegrain/internal/blas"
+	"coarsegrain/internal/blob"
+)
+
+// The lowered convolution path: im2col + GEMM per sample, which is what
+// Caffe's CPU convolution actually does (the direct loop nest in conv.go
+// models the "research-stage" code the paper's introduction motivates).
+// Enable with ConvConfig.Lowered.
+//
+// Inside a coarse-grain parallel region every worker lowers its own
+// samples, so each needs a private column buffer — exactly the "object
+// privatization" step of Algorithm 4 (line 2). The buffers come from a
+// sync.Pool, which gives per-worker reuse without the layer knowing the
+// team size.
+
+// colBuffers hands out column/scratch buffers of at least n floats.
+type colBuffers struct{ pool sync.Pool }
+
+func (c *colBuffers) get(n int) []float32 {
+	if v := c.pool.Get(); v != nil {
+		buf := v.([]float32)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float32, n)
+}
+
+func (c *colBuffers) put(buf []float32) { c.pool.Put(buf) } //nolint:staticcheck // slice headers are tiny
+
+// forwardLoweredRange computes samples [lo, hi) via im2col+GEMM.
+func (l *Convolution) forwardLoweredRange(lo, hi int, bottom, top *blob.Blob) {
+	o := l.cfg.NumOutput
+	ckk := l.channels * l.cfg.KernelH * l.cfg.KernelW
+	ohw := l.outH * l.outW
+	chw := l.channels * l.height * l.width
+	w := l.params[0].Data()
+	col := l.cols.get(ckk * ohw)
+	defer l.cols.put(col)
+	for s := lo; s < hi; s++ {
+		im := bottom.Data()[s*chw:]
+		blas.Im2col(im, l.channels, l.height, l.width, l.cfg.KernelH, l.cfg.KernelW,
+			l.cfg.PadH, l.cfg.PadW, l.cfg.StrideH, l.cfg.StrideW, col)
+		out := top.Data()[s*o*ohw : (s+1)*o*ohw]
+		blas.Gemm(blas.NoTrans, blas.NoTrans, o, ohw, ckk, 1, w, ckk, col, ohw, 0, out, ohw)
+		if !l.cfg.NoBias {
+			bias := l.params[1].Data()
+			for oc := 0; oc < o; oc++ {
+				blas.AddScalar(out[oc*ohw:(oc+1)*ohw], bias[oc])
+			}
+		}
+	}
+}
+
+// backwardLoweredRange computes gradients for samples [lo, hi) via GEMMs:
+// dW += dTop·colᵀ, dcol = Wᵀ·dTop, then col2im scatters dcol into the
+// bottom gradient. Parameter gradients accumulate into the (possibly
+// privatized) paramGrads blobs.
+func (l *Convolution) backwardLoweredRange(lo, hi int, bottom, top *blob.Blob, paramGrads []*blob.Blob) {
+	o := l.cfg.NumOutput
+	ckk := l.channels * l.cfg.KernelH * l.cfg.KernelW
+	ohw := l.outH * l.outW
+	chw := l.channels * l.height * l.width
+	w := l.params[0].Data()
+	wGrad := paramGrads[0].Diff()
+	var bGrad []float32
+	if !l.cfg.NoBias {
+		bGrad = paramGrads[1].Diff()
+	}
+	col := l.cols.get(ckk * ohw)
+	defer l.cols.put(col)
+	dcol := l.cols.get(ckk * ohw)
+	defer l.cols.put(dcol)
+	for s := lo; s < hi; s++ {
+		im := bottom.Data()[s*chw:]
+		outDiff := top.Diff()[s*o*ohw : (s+1)*o*ohw]
+		blas.Im2col(im, l.channels, l.height, l.width, l.cfg.KernelH, l.cfg.KernelW,
+			l.cfg.PadH, l.cfg.PadW, l.cfg.StrideH, l.cfg.StrideW, col)
+		blas.Gemm(blas.NoTrans, blas.Trans, o, ckk, ohw, 1, outDiff, ohw, col, ohw, 1, wGrad, ckk)
+		if bGrad != nil {
+			for oc := 0; oc < o; oc++ {
+				var sum float32
+				for _, v := range outDiff[oc*ohw : (oc+1)*ohw] {
+					sum += v
+				}
+				bGrad[oc] += sum
+			}
+		}
+		if !l.propagateDown {
+			continue
+		}
+		blas.Gemm(blas.Trans, blas.NoTrans, ckk, ohw, o, 1, w, ckk, outDiff, ohw, 0, dcol, ohw)
+		inDiff := bottom.Diff()[s*chw : (s+1)*chw]
+		for i := range inDiff {
+			inDiff[i] = 0
+		}
+		blas.Col2im(dcol, l.channels, l.height, l.width, l.cfg.KernelH, l.cfg.KernelW,
+			l.cfg.PadH, l.cfg.PadW, l.cfg.StrideH, l.cfg.StrideW, inDiff)
+	}
+}

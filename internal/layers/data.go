@@ -1,0 +1,106 @@
+package layers
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/blob"
+)
+
+// Source is the dataset abstraction consumed by the Data layer. Package
+// data provides synthetic MNIST-like and CIFAR-like sources plus loaders
+// for the real on-disk formats.
+type Source interface {
+	// Len returns the number of samples.
+	Len() int
+	// SampleShape returns the per-sample shape (channels, height, width).
+	SampleShape() []int
+	// Classes returns the number of label classes.
+	Classes() int
+	// Read writes sample i's pixels into out (len = C*H*W) and returns its
+	// label. Read must be safe for concurrent use with distinct i.
+	Read(i int, out []float32) int
+}
+
+// Data is the input layer: it feeds batches of samples and labels into the
+// network. Tops are [data (S,C,H,W), labels (S)].
+//
+// As the paper observes (§4.3 "Locality between layers"), data layers
+// execute *sequentially*: the batch load happens in ForwardPrepare on one
+// thread, which is exactly why the first convolution suffers the locality
+// penalty the paper measures. The forward extent is therefore 0.
+type Data struct {
+	base
+	src       Source
+	batchSize int
+	cursor    int
+	epoch     int
+}
+
+// NewData creates a data layer reading consecutive batches from src,
+// wrapping around at the end of an epoch.
+func NewData(name string, src Source, batchSize int) (*Data, error) {
+	if src == nil {
+		return nil, fmt.Errorf("layer %s: nil source", name)
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("layer %s: batch size must be positive, got %d", name, batchSize)
+	}
+	if src.Len() == 0 {
+		return nil, fmt.Errorf("layer %s: empty source", name)
+	}
+	return &Data{base: base{name: name, typ: "Data"}, src: src, batchSize: batchSize}, nil
+}
+
+// Epoch returns the number of completed passes over the source.
+func (l *Data) Epoch() int { return l.epoch }
+
+// Rewind resets the read cursor to the beginning of the source.
+func (l *Data) Rewind() { l.cursor = 0 }
+
+// BatchSize returns the configured batch size.
+func (l *Data) BatchSize() int { return l.batchSize }
+
+// SetUp implements Layer.
+func (l *Data) SetUp(bottom, top []*blob.Blob) error {
+	if err := checkBottomTop(l, bottom, top, 0, 2); err != nil {
+		return err
+	}
+	l.Reshape(bottom, top)
+	return nil
+}
+
+// Reshape implements Layer.
+func (l *Data) Reshape(bottom, top []*blob.Blob) {
+	ss := l.src.SampleShape()
+	shape := append([]int{l.batchSize}, ss...)
+	top[0].Reshape(shape...)
+	top[1].Reshape(l.batchSize)
+}
+
+// ForwardPrepare implements ForwardPreparer: the sequential batch load.
+func (l *Data) ForwardPrepare(bottom, top []*blob.Blob) {
+	sampleLen := top[0].CountFrom(1)
+	data := top[0].Data()
+	labels := top[1].Data()
+	for s := 0; s < l.batchSize; s++ {
+		lab := l.src.Read(l.cursor, data[s*sampleLen:(s+1)*sampleLen])
+		labels[s] = float32(lab)
+		l.cursor++
+		if l.cursor == l.src.Len() {
+			l.cursor = 0
+			l.epoch++
+		}
+	}
+}
+
+// ForwardExtent implements Layer: all work is in the sequential prepare.
+func (l *Data) ForwardExtent() int { return 0 }
+
+// ForwardRange implements Layer (never called: extent is 0).
+func (l *Data) ForwardRange(lo, hi int, bottom, top []*blob.Blob) {}
+
+// BackwardExtent implements Layer: data has no gradient.
+func (l *Data) BackwardExtent() int { return 0 }
+
+// BackwardRange implements Layer (never called: extent is 0).
+func (l *Data) BackwardRange(lo, hi int, bottom, top []*blob.Blob, _ []*blob.Blob) {}

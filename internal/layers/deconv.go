@@ -1,0 +1,226 @@
+package layers
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/rng"
+)
+
+// Deconvolution (transposed convolution) upsamples its input: each input
+// pixel scatters a kernel-shaped patch into the output,
+//
+//	outH = (inH-1)*stride - 2*pad + kernel,
+//
+// the building block of the deconvolutional visualization networks the
+// paper cites ([26], Zeiler & Fergus) and of fully-convolutional decoders
+// — exactly the kind of "research-stage" layer the network-agnostic
+// argument is about: no optimized library kernel existed for it, yet the
+// coarse engine parallelizes it through the generic contract.
+//
+// The weight blob has Caffe's deconvolution shape (C_in, C_out, KH, KW).
+// Both passes coalesce over samples: the forward scatter touches every
+// output channel of a sample (so one sample is the race-free unit), and
+// the backward gather likewise couples all input channels.
+type Deconvolution struct {
+	base
+	cfg ConvConfig
+
+	num, channels, height, width int
+	outH, outW                   int
+
+	propagateDown bool
+}
+
+// NewDeconvolution creates a transposed-convolution layer. NumOutput is
+// the output channel count; Kernel/Stride/Pad follow ConvConfig rules.
+func NewDeconvolution(name string, cfg ConvConfig) (*Deconvolution, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, fmt.Errorf("layer %s: %w", name, err)
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = rng.New(1, 3)
+	}
+	return &Deconvolution{
+		base:          base{name: name, typ: "Deconvolution"},
+		cfg:           cfg,
+		propagateDown: !cfg.DisablePropagation,
+	}, nil
+}
+
+// SetPropagateDown implements the optional propagation control.
+func (l *Deconvolution) SetPropagateDown(flags []bool) {
+	if len(flags) > 0 {
+		l.propagateDown = flags[0]
+	}
+}
+
+// SetUp implements Layer.
+func (l *Deconvolution) SetUp(bottom, top []*blob.Blob) error {
+	if err := checkBottomTop(l, bottom, top, 1, 1); err != nil {
+		return err
+	}
+	if bottom[0].AxisCount() != 4 {
+		return fmt.Errorf("layer %s: deconvolution needs a 4-D bottom, got %v", l.name, bottom[0].Shape())
+	}
+	c := bottom[0].Channels()
+	weights := blob.Named(l.name+"_w", c, l.cfg.NumOutput, l.cfg.KernelH, l.cfg.KernelW)
+	l.cfg.WeightFiller.Fill(weights, l.cfg.RNG)
+	l.params = []*blob.Blob{weights}
+	if !l.cfg.NoBias {
+		bias := blob.Named(l.name+"_b", l.cfg.NumOutput)
+		l.cfg.BiasFiller.Fill(bias, l.cfg.RNG)
+		l.params = append(l.params, bias)
+	}
+	l.Reshape(bottom, top)
+	return nil
+}
+
+// Reshape implements Layer.
+func (l *Deconvolution) Reshape(bottom, top []*blob.Blob) {
+	b := bottom[0]
+	l.num, l.channels, l.height, l.width = b.Num(), b.Channels(), b.Height(), b.Width()
+	l.outH = (l.height-1)*l.cfg.StrideH - 2*l.cfg.PadH + l.cfg.KernelH
+	l.outW = (l.width-1)*l.cfg.StrideW - 2*l.cfg.PadW + l.cfg.KernelW
+	if l.outH <= 0 || l.outW <= 0 {
+		panic(fmt.Sprintf("layer %s: output size %dx%d not positive", l.name, l.outH, l.outW))
+	}
+	top[0].Reshape(l.num, l.cfg.NumOutput, l.outH, l.outW)
+}
+
+// ForwardExtent implements Layer: one sample per iteration (the scatter
+// writes to every output channel of the sample).
+func (l *Deconvolution) ForwardExtent() int { return l.num }
+
+// ForwardRange implements Layer.
+func (l *Deconvolution) ForwardRange(lo, hi int, bottom, top []*blob.Blob) {
+	kh, kw := l.cfg.KernelH, l.cfg.KernelW
+	ph, pw := l.cfg.PadH, l.cfg.PadW
+	sh, sw := l.cfg.StrideH, l.cfg.StrideW
+	o := l.cfg.NumOutput
+	w := l.params[0].Data()
+	ohw := l.outH * l.outW
+	for s := lo; s < hi; s++ {
+		out := top[0].Data()[s*o*ohw : (s+1)*o*ohw]
+		if l.cfg.NoBias {
+			for i := range out {
+				out[i] = 0
+			}
+		} else {
+			bias := l.params[1].Data()
+			for co := 0; co < o; co++ {
+				ch := out[co*ohw : (co+1)*ohw]
+				for i := range ch {
+					ch[i] = bias[co]
+				}
+			}
+		}
+		in := bottom[0].Data()[s*l.channels*l.height*l.width:]
+		for ci := 0; ci < l.channels; ci++ {
+			chIn := in[ci*l.height*l.width:]
+			wci := w[ci*o*kh*kw:]
+			for ih := 0; ih < l.height; ih++ {
+				for iw := 0; iw < l.width; iw++ {
+					v := chIn[ih*l.width+iw]
+					if v == 0 {
+						continue
+					}
+					for co := 0; co < o; co++ {
+						wk := wci[co*kh*kw:]
+						chOut := out[co*ohw:]
+						for ki := 0; ki < kh; ki++ {
+							oh := ih*sh - ph + ki
+							if oh < 0 || oh >= l.outH {
+								continue
+							}
+							for kj := 0; kj < kw; kj++ {
+								ow := iw*sw - pw + kj
+								if ow < 0 || ow >= l.outW {
+									continue
+								}
+								chOut[oh*l.outW+ow] += v * wk[ki*kw+kj]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// BackwardExtent implements Layer.
+func (l *Deconvolution) BackwardExtent() int { return l.num }
+
+// BackwardRange implements Layer: the gather duals of the forward scatter.
+//
+//	dW[ci,co,k] += Σ x[ci,i] · dy[co, i*s-p+k]
+//	dx[ci,i]     = Σ w[ci,co,k] · dy[co, i*s-p+k]
+//	db[co]      += Σ dy[co]
+func (l *Deconvolution) BackwardRange(lo, hi int, bottom, top []*blob.Blob, paramGrads []*blob.Blob) {
+	kh, kw := l.cfg.KernelH, l.cfg.KernelW
+	ph, pw := l.cfg.PadH, l.cfg.PadW
+	sh, sw := l.cfg.StrideH, l.cfg.StrideW
+	o := l.cfg.NumOutput
+	ohw := l.outH * l.outW
+	w := l.params[0].Data()
+	wGrad := paramGrads[0].Diff()
+	var bGrad []float32
+	if !l.cfg.NoBias {
+		bGrad = paramGrads[1].Diff()
+	}
+	for s := lo; s < hi; s++ {
+		outDiff := top[0].Diff()[s*o*ohw : (s+1)*o*ohw]
+		if bGrad != nil {
+			for co := 0; co < o; co++ {
+				var sum float32
+				for _, v := range outDiff[co*ohw : (co+1)*ohw] {
+					sum += v
+				}
+				bGrad[co] += sum
+			}
+		}
+		in := bottom[0].Data()[s*l.channels*l.height*l.width:]
+		var inDiff []float32
+		if l.propagateDown {
+			inDiff = bottom[0].Diff()[s*l.channels*l.height*l.width:]
+		}
+		for ci := 0; ci < l.channels; ci++ {
+			chIn := in[ci*l.height*l.width:]
+			var chInDiff []float32
+			if inDiff != nil {
+				chInDiff = inDiff[ci*l.height*l.width:]
+			}
+			wci := w[ci*o*kh*kw:]
+			gci := wGrad[ci*o*kh*kw:]
+			for ih := 0; ih < l.height; ih++ {
+				for iw := 0; iw < l.width; iw++ {
+					x := chIn[ih*l.width+iw]
+					var acc float32
+					for co := 0; co < o; co++ {
+						wk := wci[co*kh*kw:]
+						gk := gci[co*kh*kw:]
+						chOut := outDiff[co*ohw:]
+						for ki := 0; ki < kh; ki++ {
+							oh := ih*sh - ph + ki
+							if oh < 0 || oh >= l.outH {
+								continue
+							}
+							for kj := 0; kj < kw; kj++ {
+								ow := iw*sw - pw + kj
+								if ow < 0 || ow >= l.outW {
+									continue
+								}
+								g := chOut[oh*l.outW+ow]
+								gk[ki*kw+kj] += x * g
+								acc += wk[ki*kw+kj] * g
+							}
+						}
+					}
+					if chInDiff != nil {
+						chInDiff[ih*l.width+iw] = acc
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package layers
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/blas"
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/par"
+	"coarsegrain/internal/rng"
+)
+
+// IPConfig configures an InnerProduct (fully connected) layer.
+type IPConfig struct {
+	NumOutput    int
+	NoBias       bool
+	WeightFiller Filler
+	BiasFiller   Filler
+	RNG          *rng.RNG
+}
+
+func (c *IPConfig) normalize() error {
+	if c.NumOutput <= 0 {
+		return fmt.Errorf("inner product: NumOutput must be positive, got %d", c.NumOutput)
+	}
+	if c.WeightFiller == nil {
+		c.WeightFiller = XavierFiller{}
+	}
+	if c.BiasFiller == nil {
+		c.BiasFiller = ConstantFiller{}
+	}
+	if c.RNG == nil {
+		c.RNG = rng.New(1, 2)
+	}
+	return nil
+}
+
+// InnerProduct is a fully connected layer: top[s] = W * bottom[s] + b,
+// treating everything after the batch axis as a flat feature vector.
+//
+// This is the literal f(x, W, b) = W*x + b transformation of §2.1.2: the
+// coarse path coalesces over samples and issues one GEMV per sample (the
+// "BLAS call per data segment" of Algorithm 2); the fine path instead
+// performs the whole batch as a single GEMM with its rows split across
+// workers (BLAS-level parallelism, §3.1.1).
+type InnerProduct struct {
+	base
+	cfg IPConfig
+
+	num, k        int // batch size, input features
+	propagateDown bool
+}
+
+// NewInnerProduct creates a fully connected layer.
+func NewInnerProduct(name string, cfg IPConfig) (*InnerProduct, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, fmt.Errorf("layer %s: %w", name, err)
+	}
+	return &InnerProduct{base: base{name: name, typ: "InnerProduct"}, cfg: cfg, propagateDown: true}, nil
+}
+
+// SetPropagateDown implements the optional propagation control.
+func (l *InnerProduct) SetPropagateDown(flags []bool) {
+	if len(flags) > 0 {
+		l.propagateDown = flags[0]
+	}
+}
+
+// SetUp implements Layer.
+func (l *InnerProduct) SetUp(bottom, top []*blob.Blob) error {
+	if err := checkBottomTop(l, bottom, top, 1, 1); err != nil {
+		return err
+	}
+	if bottom[0].AxisCount() < 2 {
+		return fmt.Errorf("layer %s: inner product needs at least 2 axes, got %v", l.name, bottom[0].Shape())
+	}
+	k := bottom[0].CountFrom(1)
+	w := blob.Named(l.name+"_w", l.cfg.NumOutput, k)
+	l.cfg.WeightFiller.Fill(w, l.cfg.RNG)
+	l.params = []*blob.Blob{w}
+	if !l.cfg.NoBias {
+		b := blob.Named(l.name+"_b", l.cfg.NumOutput)
+		l.cfg.BiasFiller.Fill(b, l.cfg.RNG)
+		l.params = append(l.params, b)
+	}
+	l.Reshape(bottom, top)
+	return nil
+}
+
+// Reshape implements Layer.
+func (l *InnerProduct) Reshape(bottom, top []*blob.Blob) {
+	l.num = bottom[0].Dim(0)
+	l.k = bottom[0].CountFrom(1)
+	if l.k != l.params[0].Dim(1) {
+		panic(fmt.Sprintf("layer %s: input feature count changed from %d to %d", l.name, l.params[0].Dim(1), l.k))
+	}
+	top[0].Reshape(l.num, l.cfg.NumOutput)
+}
+
+// ForwardExtent implements Layer: one GEMV per sample.
+func (l *InnerProduct) ForwardExtent() int { return l.num }
+
+// ForwardRange implements Layer.
+func (l *InnerProduct) ForwardRange(lo, hi int, bottom, top []*blob.Blob) {
+	n := l.cfg.NumOutput
+	w := l.params[0].Data()
+	for s := lo; s < hi; s++ {
+		x := bottom[0].Data()[s*l.k : (s+1)*l.k]
+		y := top[0].Data()[s*n : (s+1)*n]
+		blas.Gemv(blas.NoTrans, n, l.k, 1, w, l.k, x, 0, y)
+		if !l.cfg.NoBias {
+			blas.Axpy(1, l.params[1].Data(), y)
+		}
+	}
+}
+
+// BackwardExtent implements Layer.
+func (l *InnerProduct) BackwardExtent() int { return l.num }
+
+// BackwardRange implements Layer: per sample s, accumulate
+// dW += dy_s ⊗ x_s, db += dy_s, and write dx_s = W^T dy_s.
+func (l *InnerProduct) BackwardRange(lo, hi int, bottom, top []*blob.Blob, paramGrads []*blob.Blob) {
+	n := l.cfg.NumOutput
+	w := l.params[0].Data()
+	wGrad := paramGrads[0].Diff()
+	var bGrad []float32
+	if !l.cfg.NoBias {
+		bGrad = paramGrads[1].Diff()
+	}
+	for s := lo; s < hi; s++ {
+		x := bottom[0].Data()[s*l.k : (s+1)*l.k]
+		dy := top[0].Diff()[s*n : (s+1)*n]
+		// dW += dy ⊗ x (rank-1 update).
+		for o := 0; o < n; o++ {
+			if g := dy[o]; g != 0 {
+				blas.Axpy(g, x, wGrad[o*l.k:(o+1)*l.k])
+			}
+		}
+		if bGrad != nil {
+			blas.Axpy(1, dy, bGrad)
+		}
+		if l.propagateDown {
+			dx := bottom[0].Diff()[s*l.k : (s+1)*l.k]
+			blas.Gemv(blas.Trans, n, l.k, 1, w, l.k, dy, 0, dx)
+		}
+	}
+}
+
+// ForwardFine implements FineForwarder: the whole batch as one GEMM,
+// Top (S x N) = Bottom (S x K) * W^T (K x N), rows split across workers.
+func (l *InnerProduct) ForwardFine(p *par.Pool, bottom, top []*blob.Blob) {
+	n := l.cfg.NumOutput
+	blas.GemmParallel(p, blas.NoTrans, blas.Trans, l.num, n, l.k, 1,
+		bottom[0].Data(), l.k, l.params[0].Data(), l.k, 0, top[0].Data(), n)
+	if !l.cfg.NoBias {
+		bias := l.params[1].Data()
+		p.For(l.num, func(lo, hi, _ int) {
+			for s := lo; s < hi; s++ {
+				blas.Axpy(1, bias, top[0].Data()[s*n:(s+1)*n])
+			}
+		})
+	}
+}
+
+// BackwardFine implements FineBackwarder: dW = dY^T X as one GEMM with
+// weight rows split across workers; dX = dY W likewise; db summed serially
+// (it is N elements — negligible).
+func (l *InnerProduct) BackwardFine(p *par.Pool, bottom, top []*blob.Blob) {
+	n := l.cfg.NumOutput
+	// dW (N x K) += dY^T (N x S) * X (S x K).
+	blas.GemmParallel(p, blas.Trans, blas.NoTrans, n, l.k, l.num, 1,
+		top[0].Diff(), n, bottom[0].Data(), l.k, 1, l.params[0].Diff(), l.k)
+	if !l.cfg.NoBias {
+		bGrad := l.params[1].Diff()
+		dy := top[0].Diff()
+		for s := 0; s < l.num; s++ {
+			blas.Axpy(1, dy[s*n:(s+1)*n], bGrad)
+		}
+	}
+	if l.propagateDown {
+		// dX (S x K) = dY (S x N) * W (N x K).
+		blas.GemmParallel(p, blas.NoTrans, blas.NoTrans, l.num, l.k, n, 1,
+			top[0].Diff(), n, l.params[0].Data(), l.k, 0, bottom[0].Diff(), l.k)
+	}
+}

@@ -1,0 +1,927 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/par"
+	"coarsegrain/internal/rng"
+)
+
+// runForward drives a layer through the sequential path.
+func runForward(l Layer, bottoms, tops []*blob.Blob) {
+	if p, ok := l.(ForwardPreparer); ok {
+		p.ForwardPrepare(bottoms, tops)
+	}
+	if n := l.ForwardExtent(); n > 0 {
+		l.ForwardRange(0, n, bottoms, tops)
+	}
+	if f, ok := l.(ForwardFinisher); ok {
+		f.ForwardFinish(bottoms, tops)
+	}
+}
+
+func setup(t *testing.T, l Layer, bottoms []*blob.Blob) []*blob.Blob {
+	t.Helper()
+	tops := make([]*blob.Blob, topArity(l))
+	for i := range tops {
+		tops[i] = blob.New()
+	}
+	if err := l.SetUp(bottoms, tops); err != nil {
+		t.Fatalf("SetUp: %v", err)
+	}
+	return tops
+}
+
+func almostEq(t *testing.T, got, want, tol float32, msg string) {
+	t.Helper()
+	if math.Abs(float64(got-want)) > float64(tol) {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+// --- Convolution ---
+
+func TestConvForwardKnownValues(t *testing.T) {
+	l, err := NewConvolution("c", ConvConfig{NumOutput: 1, Kernel: 2,
+		WeightFiller: ConstantFiller{Value: 1}, BiasFiller: ConstantFiller{Value: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := blob.New(1, 1, 3, 3)
+	copy(bottom.Data(), []float32{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	// All-ones 2x2 kernel: window sums + bias 10.
+	want := []float32{12 + 10, 16 + 10, 24 + 10, 28 + 10}
+	for i, w := range want {
+		almostEq(t, tops[0].Data()[i], w, 1e-5, "conv output")
+	}
+	if s := tops[0].Shape(); s[0] != 1 || s[1] != 1 || s[2] != 2 || s[3] != 2 {
+		t.Fatalf("conv top shape %v", s)
+	}
+}
+
+func TestConvShapesLeNet(t *testing.T) {
+	// conv1 of LeNet: 20 maps, 5x5, on 28x28 -> 24x24.
+	r := rng.New(1, 1)
+	l, err := NewConvolution("conv1", ConvConfig{NumOutput: 20, Kernel: 5, RNG: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := blob.New(4, 1, 28, 28)
+	tops := setup(t, l, []*blob.Blob{bottom})
+	if s := tops[0].Shape(); s[1] != 20 || s[2] != 24 || s[3] != 24 {
+		t.Fatalf("lenet conv1 shape %v", s)
+	}
+	if w := l.Params()[0].Shape(); w[0] != 20 || w[1] != 1 || w[2] != 5 || w[3] != 5 {
+		t.Fatalf("weight shape %v", w)
+	}
+	if l.ForwardExtent() != 4*20 {
+		t.Fatalf("forward extent %d", l.ForwardExtent())
+	}
+	if l.BackwardExtent() != 4 {
+		t.Fatalf("backward extent %d", l.BackwardExtent())
+	}
+}
+
+func TestConvEnginePathsAgree(t *testing.T) {
+	r := rng.New(2, 1)
+	mk := func() (*Convolution, *blob.Blob, []*blob.Blob) {
+		rr := rng.New(7, 7)
+		l, err := NewConvolution("c", ConvConfig{NumOutput: 4, Kernel: 3, Pad: 1,
+			WeightFiller: GaussianFiller{Std: 0.2}, RNG: rr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bottom := randomBlob(r, -1, 1, 3, 2, 6, 6)
+		tops := setup(t, l, []*blob.Blob{bottom})
+		return l, bottom, tops
+	}
+	// Sequential reference. The three variants must share inputs: rebuild
+	// bottom identically by copying.
+	lSeq, bSeq, tSeq := mk()
+	runForward(lSeq, []*blob.Blob{bSeq}, tSeq)
+
+	p := par.NewPool(4)
+	defer p.Close()
+
+	lFine, bFine, tFine := mk()
+	bFine.CopyDataFrom(bSeq)
+	lFine.Params()[0].CopyDataFrom(lSeq.Params()[0])
+	lFine.Params()[1].CopyDataFrom(lSeq.Params()[1])
+	lFine.ForwardFine(p, []*blob.Blob{bFine}, tFine)
+	for i := range tSeq[0].Data() {
+		almostEq(t, tFine[0].Data()[i], tSeq[0].Data()[i], 1e-5, "fine forward")
+	}
+
+	lTuned, bTuned, tTuned := mk()
+	bTuned.CopyDataFrom(bSeq)
+	lTuned.Params()[0].CopyDataFrom(lSeq.Params()[0])
+	lTuned.Params()[1].CopyDataFrom(lSeq.Params()[1])
+	lTuned.ForwardTuned(p, []*blob.Blob{bTuned}, tTuned)
+	for i := range tSeq[0].Data() {
+		almostEq(t, tTuned[0].Data()[i], tSeq[0].Data()[i], 1e-4, "tuned forward")
+	}
+
+	// Backward agreement: seed identical top diffs.
+	for i := range tSeq[0].Diff() {
+		g := r.Range(-1, 1)
+		tSeq[0].Diff()[i] = g
+		tFine[0].Diff()[i] = g
+		tTuned[0].Diff()[i] = g
+	}
+	lSeq.BackwardRange(0, lSeq.BackwardExtent(), []*blob.Blob{bSeq}, tSeq, lSeq.Params())
+	lFine.BackwardFine(p, []*blob.Blob{bFine}, tFine)
+	lTuned.BackwardTuned(p, []*blob.Blob{bTuned}, tTuned)
+	for i := range bSeq.Diff() {
+		almostEq(t, bFine.Diff()[i], bSeq.Diff()[i], 1e-4, "fine bottom grad")
+		almostEq(t, bTuned.Diff()[i], bSeq.Diff()[i], 1e-4, "tuned bottom grad")
+	}
+	for pi := range lSeq.Params() {
+		for i := range lSeq.Params()[pi].Diff() {
+			almostEq(t, lFine.Params()[pi].Diff()[i], lSeq.Params()[pi].Diff()[i], 1e-3, "fine param grad")
+			almostEq(t, lTuned.Params()[pi].Diff()[i], lSeq.Params()[pi].Diff()[i], 1e-3, "tuned param grad")
+		}
+	}
+}
+
+func TestConvBadConfig(t *testing.T) {
+	if _, err := NewConvolution("c", ConvConfig{NumOutput: 0, Kernel: 3}); err == nil {
+		t.Fatal("zero NumOutput accepted")
+	}
+	if _, err := NewConvolution("c", ConvConfig{NumOutput: 2}); err == nil {
+		t.Fatal("zero kernel accepted")
+	}
+}
+
+func TestConvWrongBottomRank(t *testing.T) {
+	l, _ := NewConvolution("c", ConvConfig{NumOutput: 1, Kernel: 2})
+	if err := l.SetUp([]*blob.Blob{blob.New(3, 4)}, []*blob.Blob{blob.New()}); err == nil {
+		t.Fatal("2-D bottom accepted")
+	}
+}
+
+func TestConvPropagateDownSkipsBottomDiff(t *testing.T) {
+	r := rng.New(3, 1)
+	l, err := NewConvolution("c", ConvConfig{NumOutput: 2, Kernel: 2, RNG: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := randomBlob(r, -1, 1, 2, 1, 4, 4)
+	tops := setup(t, l, []*blob.Blob{bottom})
+	l.SetPropagateDown([]bool{false})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	for i := range tops[0].Diff() {
+		tops[0].Diff()[i] = 1
+	}
+	for i := range bottom.Diff() {
+		bottom.Diff()[i] = 42 // sentinel
+	}
+	l.BackwardRange(0, l.BackwardExtent(), []*blob.Blob{bottom}, tops, l.Params())
+	for i := range bottom.Diff() {
+		if bottom.Diff()[i] != 42 {
+			t.Fatal("bottom diff touched despite propagateDown=false")
+		}
+	}
+	// Weight gradient must still be computed.
+	if l.Params()[0].AsumDiff() == 0 {
+		t.Fatal("weight gradient not computed")
+	}
+}
+
+// --- Pooling ---
+
+func TestMaxPoolForwardAndMask(t *testing.T) {
+	l, err := NewPooling("p", PoolConfig{Method: MaxPool, Kernel: 2, Stride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := blob.New(1, 1, 4, 4)
+	copy(bottom.Data(), []float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	})
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	want := []float32{4, 8, 12, 16}
+	for i, w := range want {
+		almostEq(t, tops[0].Data()[i], w, 0, "max pool")
+	}
+	// Backward routes gradient to the argmax positions.
+	copy(tops[0].Diff(), []float32{1, 2, 3, 4})
+	l.BackwardRange(0, l.BackwardExtent(), []*blob.Blob{bottom}, tops, nil)
+	if bottom.DiffAt(0, 0, 1, 1) != 1 || bottom.DiffAt(0, 0, 1, 3) != 2 ||
+		bottom.DiffAt(0, 0, 3, 1) != 3 || bottom.DiffAt(0, 0, 3, 3) != 4 {
+		t.Fatalf("max pool backward wrong: %v", bottom.Diff())
+	}
+	if bottom.DiffAt(0, 0, 0, 0) != 0 {
+		t.Fatal("gradient leaked to non-max position")
+	}
+}
+
+func TestAvePoolForward(t *testing.T) {
+	l, err := NewPooling("p", PoolConfig{Method: AvePool, Kernel: 2, Stride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := blob.New(1, 1, 2, 2)
+	copy(bottom.Data(), []float32{1, 2, 3, 4})
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	almostEq(t, tops[0].Data()[0], 2.5, 1e-6, "ave pool")
+}
+
+func TestPoolFineMatchesSeq(t *testing.T) {
+	r := rng.New(4, 1)
+	for _, m := range []PoolMethod{MaxPool, AvePool} {
+		l, err := NewPooling("p", PoolConfig{Method: m, Kernel: 3, Stride: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bottom := randomBlob(r, -1, 1, 2, 3, 8, 8)
+		tops := setup(t, l, []*blob.Blob{bottom})
+		runForward(l, []*blob.Blob{bottom}, tops)
+		ref := append([]float32(nil), tops[0].Data()...)
+		p := par.NewPool(3)
+		l.ForwardFine(p, []*blob.Blob{bottom}, tops)
+		p.Close()
+		for i := range ref {
+			if tops[0].Data()[i] != ref[i] {
+				t.Fatalf("%v fine forward differs at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestPoolShapesCIFAR(t *testing.T) {
+	// pool1 of CIFAR: 3x3 stride 2 on 32x32 -> 16x16 (ceil mode).
+	l, _ := NewPooling("p", PoolConfig{Method: MaxPool, Kernel: 3, Stride: 2})
+	bottom := blob.New(2, 32, 32, 32)
+	tops := setup(t, l, []*blob.Blob{bottom})
+	if s := tops[0].Shape(); s[2] != 16 || s[3] != 16 {
+		t.Fatalf("cifar pool1 shape %v", s)
+	}
+}
+
+// --- InnerProduct ---
+
+func TestInnerProductKnownValues(t *testing.T) {
+	l, err := NewInnerProduct("ip", IPConfig{NumOutput: 2,
+		WeightFiller: ConstantFiller{Value: 1}, BiasFiller: ConstantFiller{Value: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := blob.New(2, 3)
+	copy(bottom.Data(), []float32{1, 2, 3, 4, 5, 6})
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	want := []float32{11, 11, 20, 20} // row sums + bias
+	for i, w := range want {
+		almostEq(t, tops[0].Data()[i], w, 1e-5, "ip output")
+	}
+}
+
+func TestInnerProductFineMatchesSeq(t *testing.T) {
+	r := rng.New(5, 1)
+	l, err := NewInnerProduct("ip", IPConfig{NumOutput: 7,
+		WeightFiller: GaussianFiller{Std: 0.3}, RNG: r.Split(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := randomBlob(r, -1, 1, 5, 9)
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	ref := append([]float32(nil), tops[0].Data()...)
+	p := par.NewPool(4)
+	defer p.Close()
+	l.ForwardFine(p, []*blob.Blob{bottom}, tops)
+	for i := range ref {
+		almostEq(t, tops[0].Data()[i], ref[i], 1e-5, "ip fine forward")
+	}
+
+	// Backward comparison.
+	for i := range tops[0].Diff() {
+		tops[0].Diff()[i] = r.Range(-1, 1)
+	}
+	l.Params()[0].ZeroDiff()
+	l.Params()[1].ZeroDiff()
+	l.BackwardRange(0, l.BackwardExtent(), []*blob.Blob{bottom}, tops, l.Params())
+	wRef := append([]float32(nil), l.Params()[0].Diff()...)
+	bRef := append([]float32(nil), l.Params()[1].Diff()...)
+	xRef := append([]float32(nil), bottom.Diff()...)
+	l.Params()[0].ZeroDiff()
+	l.Params()[1].ZeroDiff()
+	bottom.ZeroDiff()
+	l.BackwardFine(p, []*blob.Blob{bottom}, tops)
+	for i := range wRef {
+		almostEq(t, l.Params()[0].Diff()[i], wRef[i], 1e-4, "ip fine dW")
+	}
+	for i := range bRef {
+		almostEq(t, l.Params()[1].Diff()[i], bRef[i], 1e-4, "ip fine db")
+	}
+	for i := range xRef {
+		almostEq(t, bottom.Diff()[i], xRef[i], 1e-4, "ip fine dx")
+	}
+}
+
+func TestInnerProductBadConfig(t *testing.T) {
+	if _, err := NewInnerProduct("ip", IPConfig{NumOutput: -1}); err == nil {
+		t.Fatal("negative NumOutput accepted")
+	}
+}
+
+// --- Activations ---
+
+func TestReLUValues(t *testing.T) {
+	l := NewReLU("r", 0)
+	bottom := blob.New(1, 4)
+	copy(bottom.Data(), []float32{-2, -0.5, 0.5, 2})
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	want := []float32{0, 0, 0.5, 2}
+	for i, w := range want {
+		almostEq(t, tops[0].Data()[i], w, 0, "relu")
+	}
+}
+
+func TestSigmoidValues(t *testing.T) {
+	l := NewSigmoid("s")
+	bottom := blob.New(1, 3)
+	copy(bottom.Data(), []float32{0, 100, -100})
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	almostEq(t, tops[0].Data()[0], 0.5, 1e-6, "sigmoid(0)")
+	almostEq(t, tops[0].Data()[1], 1, 1e-6, "sigmoid(100)")
+	almostEq(t, tops[0].Data()[2], 0, 1e-6, "sigmoid(-100)")
+}
+
+func TestTanHValues(t *testing.T) {
+	l := NewTanH("t")
+	bottom := blob.New(1, 2)
+	copy(bottom.Data(), []float32{0, 1})
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	almostEq(t, tops[0].Data()[0], 0, 1e-6, "tanh(0)")
+	almostEq(t, tops[0].Data()[1], float32(math.Tanh(1)), 1e-6, "tanh(1)")
+}
+
+func TestElementwiseFineMatchesSeq(t *testing.T) {
+	r := rng.New(6, 1)
+	l := NewReLU("r", 0.1)
+	bottom := randomBlob(r, -1, 1, 4, 3, 5, 5)
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	ref := append([]float32(nil), tops[0].Data()...)
+	p := par.NewPool(5)
+	defer p.Close()
+	l.ForwardFine(p, []*blob.Blob{bottom}, tops)
+	for i := range ref {
+		if tops[0].Data()[i] != ref[i] {
+			t.Fatal("relu fine differs")
+		}
+	}
+}
+
+// --- LRN ---
+
+func TestLRNUniformInput(t *testing.T) {
+	// With all inputs = v, interior channels see scale = K + alpha*v²
+	// (window fully populated: sum = n*v², times alpha/n).
+	l, err := NewLRN("n", LRNConfig{LocalSize: 3, Alpha: 0.3, Beta: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := blob.New(1, 5, 1, 1)
+	v := float32(2)
+	for i := range bottom.Data() {
+		bottom.Data()[i] = v
+	}
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	wantInterior := v / (1 + 0.3*v*v)
+	almostEq(t, tops[0].Data()[2], wantInterior, 1e-5, "lrn interior")
+	// Edge channel: window has 2 entries -> scale = 1 + (0.3/3)*2v².
+	wantEdge := v / (1 + 0.1*2*v*v)
+	almostEq(t, tops[0].Data()[0], wantEdge, 1e-5, "lrn edge")
+}
+
+func TestLRNFineMatchesSeq(t *testing.T) {
+	r := rng.New(7, 1)
+	l, err := NewLRN("n", LRNConfig{LocalSize: 5, Alpha: 0.01, Beta: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := randomBlob(r, -1, 1, 2, 8, 4, 4)
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	ref := append([]float32(nil), tops[0].Data()...)
+	p := par.NewPool(3)
+	defer p.Close()
+	l.ForwardFine(p, []*blob.Blob{bottom}, tops)
+	for i := range ref {
+		if tops[0].Data()[i] != ref[i] {
+			t.Fatal("lrn fine differs")
+		}
+	}
+}
+
+func TestLRNEvenSizeRejected(t *testing.T) {
+	if _, err := NewLRN("n", LRNConfig{LocalSize: 4}); err == nil {
+		t.Fatal("even LocalSize accepted")
+	}
+}
+
+// --- Softmax & losses ---
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	r := rng.New(8, 1)
+	l := NewSoftmax("sm")
+	bottom := randomBlob(r, -3, 3, 4, 7)
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	for s := 0; s < 4; s++ {
+		var sum float32
+		for c := 0; c < 7; c++ {
+			v := tops[0].At(s, c)
+			if v < 0 || v > 1 {
+				t.Fatalf("prob out of range: %v", v)
+			}
+			sum += v
+		}
+		almostEq(t, sum, 1, 1e-5, "softmax sum")
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	l := NewSoftmax("sm")
+	bottom := blob.New(1, 3)
+	copy(bottom.Data(), []float32{1, 2, 3})
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	ref := append([]float32(nil), tops[0].Data()...)
+	copy(bottom.Data(), []float32{101, 102, 103})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	for i := range ref {
+		almostEq(t, tops[0].Data()[i], ref[i], 1e-5, "softmax shift invariance")
+	}
+}
+
+func TestSoftmaxWithLossUniformScores(t *testing.T) {
+	l := NewSoftmaxWithLoss("loss")
+	scores := blob.New(3, 10) // all zeros -> uniform distribution
+	labels := blob.New(3)
+	labels.Data()[0], labels.Data()[1], labels.Data()[2] = 0, 5, 9
+	tops := setup(t, l, []*blob.Blob{scores, labels})
+	runForward(l, []*blob.Blob{scores, labels}, tops)
+	almostEq(t, tops[0].Data()[0], float32(math.Log(10)), 1e-5, "uniform loss = ln(10)")
+}
+
+func TestSoftmaxWithLossPerfectPrediction(t *testing.T) {
+	l := NewSoftmaxWithLoss("loss")
+	scores := blob.New(2, 4)
+	labels := blob.New(2)
+	scores.Set(50, 0, 1)
+	labels.Data()[0] = 1
+	scores.Set(50, 1, 3)
+	labels.Data()[1] = 3
+	tops := setup(t, l, []*blob.Blob{scores, labels})
+	runForward(l, []*blob.Blob{scores, labels}, tops)
+	if tops[0].Data()[0] > 1e-4 {
+		t.Fatalf("confident correct prediction should have ~0 loss, got %v", tops[0].Data()[0])
+	}
+}
+
+func TestSoftmaxWithLossLabelOutOfRangePanics(t *testing.T) {
+	l := NewSoftmaxWithLoss("loss")
+	scores := blob.New(1, 3)
+	labels := blob.New(1)
+	labels.Data()[0] = 7
+	tops := setup(t, l, []*blob.Blob{scores, labels})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad label did not panic")
+		}
+	}()
+	runForward(l, []*blob.Blob{scores, labels}, tops)
+}
+
+func TestSoftmaxWithLossBatchMismatch(t *testing.T) {
+	l := NewSoftmaxWithLoss("loss")
+	if err := l.SetUp([]*blob.Blob{blob.New(3, 4), blob.New(2)}, []*blob.Blob{blob.New()}); err == nil {
+		t.Fatal("batch mismatch accepted")
+	}
+}
+
+func TestEuclideanLossKnownValue(t *testing.T) {
+	l := NewEuclideanLoss("el")
+	a := blob.New(2, 2)
+	b := blob.New(2, 2)
+	copy(a.Data(), []float32{1, 2, 3, 4})
+	copy(b.Data(), []float32{1, 0, 3, 2}) // diffs 0,2,0,2
+	tops := setup(t, l, []*blob.Blob{a, b})
+	runForward(l, []*blob.Blob{a, b}, tops)
+	almostEq(t, tops[0].Data()[0], 2, 1e-5, "euclidean loss (0.5*(4+4)/2)")
+}
+
+// --- Accuracy ---
+
+func TestAccuracyTop1(t *testing.T) {
+	l := NewAccuracy("acc", 1)
+	scores := blob.New(4, 3)
+	labels := blob.New(4)
+	put := func(s int, vals [3]float32, lab int) {
+		for c, v := range vals {
+			scores.Set(v, s, c)
+		}
+		labels.Data()[s] = float32(lab)
+	}
+	put(0, [3]float32{1, 5, 2}, 1) // correct
+	put(1, [3]float32{9, 5, 2}, 1) // wrong
+	put(2, [3]float32{1, 2, 3}, 2) // correct
+	put(3, [3]float32{1, 2, 3}, 0) // wrong
+	tops := setup(t, l, []*blob.Blob{scores, labels})
+	runForward(l, []*blob.Blob{scores, labels}, tops)
+	almostEq(t, tops[0].Data()[0], 0.5, 1e-6, "top-1 accuracy")
+}
+
+func TestAccuracyTopK(t *testing.T) {
+	l := NewAccuracy("acc", 2)
+	scores := blob.New(2, 4)
+	labels := blob.New(2)
+	copy(scores.Data(), []float32{
+		9, 5, 2, 1, // label 1 is 2nd -> in top-2
+		9, 5, 2, 1, // label 3 is 4th -> not in top-2
+	})
+	labels.Data()[0] = 1
+	labels.Data()[1] = 3
+	tops := setup(t, l, []*blob.Blob{scores, labels})
+	runForward(l, []*blob.Blob{scores, labels}, tops)
+	almostEq(t, tops[0].Data()[0], 0.5, 1e-6, "top-2 accuracy")
+	if l.BackwardExtent() != 0 {
+		t.Fatal("accuracy should have no backward")
+	}
+}
+
+// --- Dropout ---
+
+func TestDropoutTestModeIsIdentity(t *testing.T) {
+	r := rng.New(9, 1)
+	l, err := NewDropout("d", 0.5, r.Split(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetTrain(false)
+	bottom := randomBlob(r, -1, 1, 3, 4)
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	for i := range bottom.Data() {
+		if tops[0].Data()[i] != bottom.Data()[i] {
+			t.Fatal("test-mode dropout is not identity")
+		}
+	}
+}
+
+func TestDropoutTrainStatistics(t *testing.T) {
+	r := rng.New(10, 1)
+	ratio := float32(0.3)
+	l, err := NewDropout("d", ratio, r.Split(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := blob.New(100, 100)
+	for i := range bottom.Data() {
+		bottom.Data()[i] = 1
+	}
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	zeros := 0
+	var mean float64
+	for _, v := range tops[0].Data() {
+		if v == 0 {
+			zeros++
+		}
+		mean += float64(v)
+	}
+	n := float64(bottom.Count())
+	if frac := float64(zeros) / n; math.Abs(frac-float64(ratio)) > 0.02 {
+		t.Fatalf("drop fraction %v, want ~%v", frac, ratio)
+	}
+	// Inverted dropout preserves the expectation.
+	if mean/n < 0.95 || mean/n > 1.05 {
+		t.Fatalf("mean after dropout %v, want ~1", mean/n)
+	}
+}
+
+func TestDropoutBadRatio(t *testing.T) {
+	if _, err := NewDropout("d", 1.0, nil); err == nil {
+		t.Fatal("ratio 1.0 accepted")
+	}
+	if _, err := NewDropout("d", -0.1, nil); err == nil {
+		t.Fatal("negative ratio accepted")
+	}
+}
+
+// --- Data ---
+
+type countingSource struct{ n int }
+
+func (s countingSource) Len() int           { return s.n }
+func (s countingSource) SampleShape() []int { return []int{1, 2, 2} }
+func (s countingSource) Classes() int       { return s.n }
+func (s countingSource) Read(i int, out []float32) int {
+	for j := range out {
+		out[j] = float32(i)
+	}
+	return i
+}
+
+func TestDataLayerBatches(t *testing.T) {
+	l, err := NewData("data", countingSource{n: 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops := setup(t, l, nil)
+	if s := tops[0].Shape(); s[0] != 4 || s[1] != 1 || s[2] != 2 || s[3] != 2 {
+		t.Fatalf("data top shape %v", s)
+	}
+	runForward(l, nil, tops)
+	for s := 0; s < 4; s++ {
+		if tops[1].Data()[s] != float32(s) {
+			t.Fatalf("labels %v", tops[1].Data())
+		}
+		if tops[0].At(s, 0, 0, 0) != float32(s) {
+			t.Fatal("pixels wrong")
+		}
+	}
+	// Second batch continues; third wraps (10 samples, batch 4).
+	runForward(l, nil, tops)
+	if tops[1].Data()[0] != 4 {
+		t.Fatalf("second batch starts at %v", tops[1].Data()[0])
+	}
+	runForward(l, nil, tops)
+	if tops[1].Data()[0] != 8 || tops[1].Data()[2] != 0 {
+		t.Fatalf("wrap batch labels %v", tops[1].Data())
+	}
+	if l.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", l.Epoch())
+	}
+	l.Rewind()
+	runForward(l, nil, tops)
+	if tops[1].Data()[0] != 0 {
+		t.Fatal("rewind did not reset cursor")
+	}
+}
+
+func TestDataLayerErrors(t *testing.T) {
+	if _, err := NewData("d", nil, 4); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewData("d", countingSource{n: 10}, 0); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := NewData("d", countingSource{n: 0}, 1); err == nil {
+		t.Fatal("empty source accepted")
+	}
+}
+
+// --- Fillers ---
+
+func TestFillers(t *testing.T) {
+	r := rng.New(11, 1)
+	b := blob.New(100, 50)
+
+	ConstantFiller{Value: 3}.Fill(b, r)
+	if b.Data()[17] != 3 {
+		t.Fatal("constant filler")
+	}
+
+	XavierFiller{}.Fill(b, r)
+	s := float32(math.Sqrt(3.0 / 50.0))
+	for _, v := range b.Data() {
+		if v < -s || v >= s {
+			t.Fatalf("xavier value %v outside [-%v, %v)", v, s, s)
+		}
+	}
+
+	GaussianFiller{Mean: 1, Std: 0.1}.Fill(b, r)
+	var mean float64
+	for _, v := range b.Data() {
+		mean += float64(v)
+	}
+	mean /= float64(b.Count())
+	if math.Abs(mean-1) > 0.01 {
+		t.Fatalf("gaussian filler mean %v", mean)
+	}
+
+	UniformFiller{Min: 2, Max: 3}.Fill(b, r)
+	for _, v := range b.Data() {
+		if v < 2 || v >= 3 {
+			t.Fatalf("uniform filler value %v", v)
+		}
+	}
+
+	MSRAFiller{}.Fill(b, r)
+	var sq float64
+	for _, v := range b.Data() {
+		sq += float64(v) * float64(v)
+	}
+	variance := sq / float64(b.Count())
+	if math.Abs(variance-2.0/50.0) > 0.01 {
+		t.Fatalf("msra variance %v, want %v", variance, 2.0/50.0)
+	}
+}
+
+func TestFillerByName(t *testing.T) {
+	for _, name := range []string{"constant", "gaussian", "uniform", "xavier", "msra", ""} {
+		if _, err := FillerByName(name, 0.5); err != nil {
+			t.Fatalf("FillerByName(%q): %v", name, err)
+		}
+	}
+	if _, err := FillerByName("bogus", 0); err == nil {
+		t.Fatal("unknown filler accepted")
+	}
+}
+
+// --- Coalesced-range consistency: computing a layer forward in arbitrary
+// chunk splits must equal the single-range result (the property the coarse
+// engine relies on). ---
+
+func TestChunkedForwardEqualsWhole(t *testing.T) {
+	r := rng.New(12, 1)
+	mk := func() []Layer {
+		conv, _ := NewConvolution("c", ConvConfig{NumOutput: 3, Kernel: 3, RNG: rng.New(1, 1)})
+		pool, _ := NewPooling("p", PoolConfig{Method: MaxPool, Kernel: 2, Stride: 2})
+		ip, _ := NewInnerProduct("ip", IPConfig{NumOutput: 4, RNG: rng.New(2, 2)})
+		lrn, _ := NewLRN("n", LRNConfig{LocalSize: 3, Alpha: 0.1, Beta: 0.75})
+		return []Layer{conv, pool, NewReLU("r", 0), ip, lrn, NewSoftmax("sm")}
+	}
+	for _, l := range mk() {
+		var bottom *blob.Blob
+		switch l.Type() {
+		case "InnerProduct", "Softmax":
+			bottom = randomBlob(r, -1, 1, 6, 10)
+		default:
+			bottom = randomBlob(r, -1, 1, 6, 4, 8, 8)
+		}
+		tops := setup(t, l, []*blob.Blob{bottom})
+		runForward(l, []*blob.Blob{bottom}, tops)
+		ref := append([]float32(nil), tops[0].Data()...)
+		tops[0].ZeroData()
+		// Recompute in ragged chunks.
+		n := l.ForwardExtent()
+		for lo := 0; lo < n; {
+			hi := lo + 1 + (lo % 3)
+			if hi > n {
+				hi = n
+			}
+			l.ForwardRange(lo, hi, []*blob.Blob{bottom}, tops)
+			lo = hi
+		}
+		for i := range ref {
+			if tops[0].Data()[i] != ref[i] {
+				t.Fatalf("%s: chunked forward differs at %d", l.Type(), i)
+			}
+		}
+	}
+}
+
+// The lowered (im2col+GEMM) convolution must agree with the direct loop
+// nest in both passes, under arbitrary chunked range splits.
+func TestConvLoweredMatchesDirect(t *testing.T) {
+	r := rng.New(61, 1)
+	mk := func(lowered bool) (*Convolution, *blob.Blob, []*blob.Blob) {
+		l, err := NewConvolution("c", ConvConfig{
+			NumOutput: 4, Kernel: 3, Pad: 1, Stride: 2, Lowered: lowered,
+			WeightFiller: GaussianFiller{Std: 0.3}, RNG: rng.New(8, 8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bottom := blob.New(5, 3, 7, 6)
+		tops := setup(t, l, []*blob.Blob{bottom})
+		return l, bottom, tops
+	}
+	ld, bd, td := mk(false)
+	ll, bl, tl := mk(true)
+	for i := range bd.Data() {
+		v := r.Range(-1, 1)
+		bd.Data()[i] = v
+		bl.Data()[i] = v
+	}
+	runForward(ld, []*blob.Blob{bd}, td)
+	// Lowered forward in ragged chunks (extent = samples).
+	n := ll.ForwardExtent()
+	if n != 5 {
+		t.Fatalf("lowered forward extent %d, want 5", n)
+	}
+	for lo := 0; lo < n; lo += 2 {
+		ll.ForwardRange(lo, min(lo+2, n), []*blob.Blob{bl}, tl)
+	}
+	for i := range td[0].Data() {
+		almostEq(t, tl[0].Data()[i], td[0].Data()[i], 1e-4, "lowered forward")
+	}
+
+	for i := range td[0].Diff() {
+		g := r.Range(-1, 1)
+		td[0].Diff()[i] = g
+		tl[0].Diff()[i] = g
+	}
+	ld.BackwardRange(0, ld.BackwardExtent(), []*blob.Blob{bd}, td, ld.Params())
+	for lo := 0; lo < ll.BackwardExtent(); lo += 3 {
+		ll.BackwardRange(lo, min(lo+3, ll.BackwardExtent()), []*blob.Blob{bl}, tl, ll.Params())
+	}
+	for i := range bd.Diff() {
+		almostEq(t, bl.Diff()[i], bd.Diff()[i], 1e-4, "lowered bottom grad")
+	}
+	for pi := range ld.Params() {
+		for i := range ld.Params()[pi].Diff() {
+			almostEq(t, ll.Params()[pi].Diff()[i], ld.Params()[pi].Diff()[i], 1e-3, "lowered param grad")
+		}
+	}
+}
+
+func TestConvLoweredGradientCheck(t *testing.T) {
+	r := rng.New(62, 1)
+	l, err := NewConvolution("c", ConvConfig{NumOutput: 2, Kernel: 3, Pad: 1, Lowered: true,
+		WeightFiller: GaussianFiller{Std: 0.3}, RNG: r.Split(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := randomBlob(r, -1, 1, 2, 2, 5, 5)
+	gradCheck(t, l, []*blob.Blob{bottom}, []bool{true}, true, 1e-2, 2e-2)
+}
+
+func TestDeconvolutionShapesAndUpsampling(t *testing.T) {
+	// kernel 2, stride 2, no pad: exact 2x upsampling.
+	l, err := NewDeconvolution("dc", ConvConfig{NumOutput: 1, Kernel: 2, Stride: 2,
+		WeightFiller: ConstantFiller{Value: 1}, NoBias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := blob.New(1, 1, 2, 2)
+	copy(bottom.Data(), []float32{1, 2, 3, 4})
+	tops := setup(t, l, []*blob.Blob{bottom})
+	if s := tops[0].Shape(); s[2] != 4 || s[3] != 4 {
+		t.Fatalf("deconv shape %v, want 4x4", s)
+	}
+	runForward(l, []*blob.Blob{bottom}, tops)
+	// Each input pixel becomes a 2x2 block of its value.
+	want := []float32{
+		1, 1, 2, 2,
+		1, 1, 2, 2,
+		3, 3, 4, 4,
+		3, 3, 4, 4,
+	}
+	for i, v := range want {
+		almostEq(t, tops[0].Data()[i], v, 1e-6, "deconv upsample")
+	}
+	// Weight shape: (C_in, C_out, KH, KW).
+	if s := l.Params()[0].Shape(); s[0] != 1 || s[1] != 1 || s[2] != 2 || s[3] != 2 {
+		t.Fatalf("deconv weight shape %v", s)
+	}
+}
+
+func TestDeconvolutionInvertsConvShapes(t *testing.T) {
+	// conv k5/s1 shrinks 28->24; deconv k5/s1 restores 24->28.
+	conv, _ := NewConvolution("c", ConvConfig{NumOutput: 4, Kernel: 5, RNG: rng.New(1, 1)})
+	dec, _ := NewDeconvolution("d", ConvConfig{NumOutput: 1, Kernel: 5, RNG: rng.New(1, 2)})
+	bottom := blob.New(2, 1, 28, 28)
+	mid := []*blob.Blob{blob.New()}
+	if err := conv.SetUp([]*blob.Blob{bottom}, mid); err != nil {
+		t.Fatal(err)
+	}
+	out := []*blob.Blob{blob.New()}
+	if err := dec.SetUp(mid, out); err != nil {
+		t.Fatal(err)
+	}
+	if s := out[0].Shape(); s[2] != 28 || s[3] != 28 {
+		t.Fatalf("deconv did not restore 28x28: %v", s)
+	}
+}
+
+func TestDeconvolutionChunkedForward(t *testing.T) {
+	r := rng.New(83, 1)
+	l, err := NewDeconvolution("dc", ConvConfig{NumOutput: 2, Kernel: 3, Stride: 2,
+		WeightFiller: GaussianFiller{Std: 0.3}, RNG: rng.New(5, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := randomBlob(r, -1, 1, 5, 2, 4, 4)
+	tops := setup(t, l, []*blob.Blob{bottom})
+	runForward(l, []*blob.Blob{bottom}, tops)
+	ref := append([]float32(nil), tops[0].Data()...)
+	tops[0].ZeroData()
+	n := l.ForwardExtent()
+	for lo := 0; lo < n; lo += 2 {
+		l.ForwardRange(lo, min(lo+2, n), []*blob.Blob{bottom}, tops)
+	}
+	for i := range ref {
+		if tops[0].Data()[i] != ref[i] {
+			t.Fatal("chunked deconv forward differs")
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/par"
+)
+
+// LRNConfig configures a LocalResponseNormalization layer (Caffe LRN,
+// ACROSS_CHANNELS region — the norm1/norm2 layers of the CIFAR-10 network).
+type LRNConfig struct {
+	LocalSize int     // window size n over channels (odd, default 5)
+	Alpha     float32 // scaling (default 1e-4)
+	Beta      float32 // exponent (default 0.75)
+	K         float32 // additive constant (default 1)
+}
+
+func (c *LRNConfig) normalize() error {
+	if c.LocalSize == 0 {
+		c.LocalSize = 5
+	}
+	if c.LocalSize%2 == 0 || c.LocalSize < 0 {
+		return fmt.Errorf("lrn: LocalSize must be odd and positive, got %d", c.LocalSize)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1e-4
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.75
+	}
+	if c.K == 0 {
+		c.K = 1
+	}
+	return nil
+}
+
+// LRN is across-channel local response normalization:
+//
+//	scale(s,c,h,w) = K + (Alpha/n) * Σ_{c' ∈ window(c)} x(s,c',h,w)²
+//	y = x * scale^{-Beta}
+//
+// Channels within a window are coupled, so the race-free coalesced unit is
+// a whole sample: both passes have extent S. The paper singles out the LRN
+// layers ("norm1", "norm2") as the layers that *change the data-thread
+// distribution* relative to their conv/pool neighbours (which distribute
+// over S*C), causing the locality losses analysed in §4.2.1 — this
+// implementation preserves exactly that structural property.
+type LRN struct {
+	base
+	cfg LRNConfig
+
+	num, channels, height, width int
+
+	// scale caches the normalization denominators for the backward pass.
+	scale         *blob.Blob
+	propagateDown bool
+}
+
+// NewLRN creates a local response normalization layer.
+func NewLRN(name string, cfg LRNConfig) (*LRN, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, fmt.Errorf("layer %s: %w", name, err)
+	}
+	return &LRN{base: base{name: name, typ: "LRN"}, cfg: cfg, scale: blob.New(), propagateDown: true}, nil
+}
+
+// SetPropagateDown implements the optional propagation control.
+func (l *LRN) SetPropagateDown(flags []bool) {
+	if len(flags) > 0 {
+		l.propagateDown = flags[0]
+	}
+}
+
+// SetUp implements Layer.
+func (l *LRN) SetUp(bottom, top []*blob.Blob) error {
+	if err := checkBottomTop(l, bottom, top, 1, 1); err != nil {
+		return err
+	}
+	if bottom[0].AxisCount() != 4 {
+		return fmt.Errorf("layer %s: LRN needs a 4-D bottom, got %v", l.name, bottom[0].Shape())
+	}
+	l.Reshape(bottom, top)
+	return nil
+}
+
+// Reshape implements Layer.
+func (l *LRN) Reshape(bottom, top []*blob.Blob) {
+	b := bottom[0]
+	l.num, l.channels, l.height, l.width = b.Num(), b.Channels(), b.Height(), b.Width()
+	top[0].ReshapeLike(b)
+	l.scale.ReshapeLike(b)
+}
+
+// ForwardExtent implements Layer: whole samples (channel coupling).
+func (l *LRN) ForwardExtent() int { return l.num }
+
+// ForwardRange implements Layer.
+func (l *LRN) ForwardRange(lo, hi int, bottom, top []*blob.Blob) {
+	for s := lo; s < hi; s++ {
+		l.forwardSample(s, bottom[0], top[0])
+	}
+}
+
+func (l *LRN) forwardSample(s int, bottom, top *blob.Blob) {
+	hw := l.height * l.width
+	chw := l.channels * hw
+	in := bottom.Data()[s*chw : (s+1)*chw]
+	out := top.Data()[s*chw : (s+1)*chw]
+	sc := l.scale.Data()[s*chw : (s+1)*chw]
+	l.forwardColumns(in, out, sc, 0, hw)
+}
+
+// forwardColumns normalizes spatial positions [plo, phi) of one sample.
+// Splitting by column keeps the sliding-window recurrence per position.
+func (l *LRN) forwardColumns(in, out, sc []float32, plo, phi int) {
+	hw := l.height * l.width
+	half := l.cfg.LocalSize / 2
+	alphaOverN := l.cfg.Alpha / float32(l.cfg.LocalSize)
+	for p := plo; p < phi; p++ {
+		// Sliding sum of squares over the channel axis at position p.
+		var sum float32
+		for c := 0; c <= half && c < l.channels; c++ {
+			v := in[c*hw+p]
+			sum += v * v
+		}
+		for c := 0; c < l.channels; c++ {
+			sc[c*hw+p] = l.cfg.K + alphaOverN*sum
+			out[c*hw+p] = in[c*hw+p] * float32(math.Pow(float64(sc[c*hw+p]), -float64(l.cfg.Beta)))
+			// Slide: add channel c+half+1, drop channel c-half.
+			if nc := c + half + 1; nc < l.channels {
+				v := in[nc*hw+p]
+				sum += v * v
+			}
+			if oc := c - half; oc >= 0 {
+				v := in[oc*hw+p]
+				sum -= v * v
+			}
+		}
+	}
+}
+
+// BackwardExtent implements Layer.
+func (l *LRN) BackwardExtent() int {
+	if !l.propagateDown {
+		return 0
+	}
+	return l.num
+}
+
+// BackwardRange implements Layer. LRN has no parameters.
+func (l *LRN) BackwardRange(lo, hi int, bottom, top []*blob.Blob, _ []*blob.Blob) {
+	for s := lo; s < hi; s++ {
+		l.backwardSample(s, bottom[0], top[0])
+	}
+}
+
+func (l *LRN) backwardSample(s int, bottom, top *blob.Blob) {
+	hw := l.height * l.width
+	chw := l.channels * hw
+	in := bottom.Data()[s*chw : (s+1)*chw]
+	inDiff := bottom.Diff()[s*chw : (s+1)*chw]
+	out := top.Data()[s*chw : (s+1)*chw]
+	outDiff := top.Diff()[s*chw : (s+1)*chw]
+	sc := l.scale.Data()[s*chw : (s+1)*chw]
+	l.backwardColumns(in, inDiff, out, outDiff, sc, 0, hw)
+}
+
+// backwardColumns computes the input gradient for spatial positions
+// [plo, phi) of one sample using the standard LRN derivative:
+//
+//	dx_c = dy_c * scale_c^{-β} − (2αβ/n) x_c Σ_{c'∈win(c)} dy_{c'} y_{c'} / scale_{c'}
+func (l *LRN) backwardColumns(in, inDiff, out, outDiff, sc []float32, plo, phi int) {
+	hw := l.height * l.width
+	half := l.cfg.LocalSize / 2
+	ratio := 2 * l.cfg.Alpha * l.cfg.Beta / float32(l.cfg.LocalSize)
+	for p := plo; p < phi; p++ {
+		// Sliding sum of dy*y/scale over the channel window.
+		var sum float32
+		for c := 0; c <= half && c < l.channels; c++ {
+			i := c*hw + p
+			sum += outDiff[i] * out[i] / sc[i]
+		}
+		for c := 0; c < l.channels; c++ {
+			i := c*hw + p
+			inDiff[i] = outDiff[i]*float32(math.Pow(float64(sc[i]), -float64(l.cfg.Beta))) - ratio*in[i]*sum
+			if nc := c + half + 1; nc < l.channels {
+				j := nc*hw + p
+				sum += outDiff[j] * out[j] / sc[j]
+			}
+			if oc := c - half; oc >= 0 {
+				j := oc*hw + p
+				sum -= outDiff[j] * out[j] / sc[j]
+			}
+		}
+	}
+}
+
+// ForwardFine implements FineForwarder: per sample, spatial positions are
+// split across workers (the GPU kernel's pixel-level decomposition).
+func (l *LRN) ForwardFine(p *par.Pool, bottom, top []*blob.Blob) {
+	hw := l.height * l.width
+	chw := l.channels * hw
+	for s := 0; s < l.num; s++ {
+		in := bottom[0].Data()[s*chw : (s+1)*chw]
+		out := top[0].Data()[s*chw : (s+1)*chw]
+		sc := l.scale.Data()[s*chw : (s+1)*chw]
+		p.For(hw, func(plo, phi, _ int) {
+			l.forwardColumns(in, out, sc, plo, phi)
+		})
+	}
+}
+
+// BackwardFine implements FineBackwarder.
+func (l *LRN) BackwardFine(p *par.Pool, bottom, top []*blob.Blob) {
+	if !l.propagateDown {
+		return
+	}
+	hw := l.height * l.width
+	chw := l.channels * hw
+	for s := 0; s < l.num; s++ {
+		in := bottom[0].Data()[s*chw : (s+1)*chw]
+		inDiff := bottom[0].Diff()[s*chw : (s+1)*chw]
+		out := top[0].Data()[s*chw : (s+1)*chw]
+		outDiff := top[0].Diff()[s*chw : (s+1)*chw]
+		sc := l.scale.Data()[s*chw : (s+1)*chw]
+		p.For(hw, func(plo, phi, _ int) {
+			l.backwardColumns(in, inDiff, out, outDiff, sc, plo, phi)
+		})
+	}
+}

@@ -1,0 +1,156 @@
+// Package metrics provides classification evaluation beyond the Accuracy
+// layer's scalar: confusion matrices and per-class precision/recall, used
+// by cmd/dnneval to report model quality after training.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"coarsegrain/internal/net"
+)
+
+// Confusion is a square confusion matrix: rows are true labels, columns
+// predicted labels.
+type Confusion struct {
+	classes int
+	counts  []int64
+}
+
+// NewConfusion creates an empty matrix over the given class count.
+func NewConfusion(classes int) (*Confusion, error) {
+	if classes <= 0 {
+		return nil, fmt.Errorf("metrics: class count must be positive, got %d", classes)
+	}
+	return &Confusion{classes: classes, counts: make([]int64, classes*classes)}, nil
+}
+
+// Classes returns the class count.
+func (c *Confusion) Classes() int { return c.classes }
+
+// Add records one (true, predicted) observation.
+func (c *Confusion) Add(trueLab, predLab int) error {
+	if trueLab < 0 || trueLab >= c.classes || predLab < 0 || predLab >= c.classes {
+		return fmt.Errorf("metrics: label out of range: true=%d pred=%d classes=%d", trueLab, predLab, c.classes)
+	}
+	c.counts[trueLab*c.classes+predLab]++
+	return nil
+}
+
+// Count returns the number of observations with the given true and
+// predicted labels.
+func (c *Confusion) Count(trueLab, predLab int) int64 {
+	return c.counts[trueLab*c.classes+predLab]
+}
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int64 {
+	var t int64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Accuracy returns the overall fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	var diag int64
+	for i := 0; i < c.classes; i++ {
+		diag += c.Count(i, i)
+	}
+	return float64(diag) / float64(total)
+}
+
+// Recall returns class k's recall: correct k / true k (1 when class k
+// never occurred).
+func (c *Confusion) Recall(k int) float64 {
+	var row int64
+	for j := 0; j < c.classes; j++ {
+		row += c.Count(k, j)
+	}
+	if row == 0 {
+		return 1
+	}
+	return float64(c.Count(k, k)) / float64(row)
+}
+
+// Precision returns class k's precision: correct k / predicted k (1 when
+// k was never predicted).
+func (c *Confusion) Precision(k int) float64 {
+	var col int64
+	for i := 0; i < c.classes; i++ {
+		col += c.Count(i, k)
+	}
+	if col == 0 {
+		return 1
+	}
+	return float64(c.Count(k, k)) / float64(col)
+}
+
+// String renders the matrix with per-class precision/recall.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "t\\p")
+	for j := 0; j < c.classes; j++ {
+		fmt.Fprintf(&b, "%7d", j)
+	}
+	fmt.Fprintf(&b, "%9s\n", "recall")
+	for i := 0; i < c.classes; i++ {
+		fmt.Fprintf(&b, "%-6d", i)
+		for j := 0; j < c.classes; j++ {
+			fmt.Fprintf(&b, "%7d", c.Count(i, j))
+		}
+		fmt.Fprintf(&b, "%8.1f%%\n", c.Recall(i)*100)
+	}
+	fmt.Fprintf(&b, "%-6s", "prec")
+	for j := 0; j < c.classes; j++ {
+		fmt.Fprintf(&b, "%6.0f%%", c.Precision(j)*100)
+	}
+	fmt.Fprintf(&b, "\noverall accuracy: %.2f%% over %d samples\n", c.Accuracy()*100, c.Total())
+	return b.String()
+}
+
+// Collect runs `batches` forward passes of a classification network in
+// test mode and fills a confusion matrix from the score and label blobs.
+// The scores blob must be (S x C); argmax over C is the prediction.
+func Collect(n *net.Net, scoresBlob, labelsBlob string, batches int) (*Confusion, error) {
+	scores := n.Blob(scoresBlob)
+	labels := n.Blob(labelsBlob)
+	if scores == nil || labels == nil {
+		return nil, fmt.Errorf("metrics: blobs %q/%q not found", scoresBlob, labelsBlob)
+	}
+	n.SetTrain(false)
+	defer n.SetTrain(true)
+	var cm *Confusion
+	for b := 0; b < batches; b++ {
+		n.Forward()
+		s := scores.Dim(0)
+		classes := scores.CountFrom(1)
+		if cm == nil {
+			var err error
+			if cm, err = NewConfusion(classes); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < s; i++ {
+			row := scores.Data()[i*classes : (i+1)*classes]
+			pred := 0
+			for j, v := range row {
+				if v > row[pred] {
+					pred = j
+				}
+			}
+			if err := cm.Add(int(labels.Data()[i]), pred); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cm == nil {
+		return nil, fmt.Errorf("metrics: no batches evaluated")
+	}
+	return cm, nil
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coarsegrain/internal/data"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/rng"
+	"coarsegrain/internal/solver"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	cm, err := NewConfusion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 correct 0s, 1 correct 1, one 0 predicted as 2, one 2 predicted as 1.
+	for _, p := range [][2]int{{0, 0}, {0, 0}, {1, 1}, {0, 2}, {2, 1}} {
+		if err := cm.Add(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cm.Total() != 5 {
+		t.Fatalf("total %d", cm.Total())
+	}
+	if cm.Count(0, 2) != 1 || cm.Count(0, 0) != 2 {
+		t.Fatal("counts wrong")
+	}
+	if got := cm.Accuracy(); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("accuracy %v", got)
+	}
+	if got := cm.Recall(0); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("recall(0) %v", got)
+	}
+	if got := cm.Precision(1); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("precision(1) %v", got)
+	}
+	// Unseen class: recall/precision default to 1.
+	cm2, _ := NewConfusion(4)
+	cm2.Add(0, 0)
+	if cm2.Recall(3) != 1 || cm2.Precision(3) != 1 {
+		t.Fatal("unseen class should report 1")
+	}
+}
+
+func TestConfusionValidation(t *testing.T) {
+	if _, err := NewConfusion(0); err == nil {
+		t.Fatal("zero classes accepted")
+	}
+	cm, _ := NewConfusion(2)
+	if err := cm.Add(2, 0); err == nil {
+		t.Fatal("out-of-range true label accepted")
+	}
+	if err := cm.Add(0, -1); err == nil {
+		t.Fatal("out-of-range predicted label accepted")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	cm, _ := NewConfusion(2)
+	cm.Add(0, 0)
+	cm.Add(1, 0)
+	out := cm.String()
+	for _, want := range []string{"recall", "prec", "overall accuracy", "50.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectFromTrainedNet(t *testing.T) {
+	src := data.NewSyntheticMNIST(256, 41)
+	d, err := layers.NewData("data", src, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := layers.NewConvolution("conv", layers.ConvConfig{
+		NumOutput: 6, Kernel: 5, Stride: 2,
+		WeightFiller: layers.XavierFiller{}, RNG: rng.New(41, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := layers.NewInnerProduct("ip", layers.IPConfig{
+		NumOutput: 10, WeightFiller: layers.XavierFiller{}, RNG: rng.New(41, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.New([]net.LayerSpec{
+		{Layer: d, Tops: []string{"data", "label"}},
+		{Layer: conv, Bottoms: []string{"data"}, Tops: []string{"conv"}},
+		{Layer: layers.NewReLU("relu", 0), Bottoms: []string{"conv"}, Tops: []string{"relu"}},
+		{Layer: ip, Bottoms: []string{"relu"}, Tops: []string{"ip"}},
+		{Layer: layers.NewSoftmaxWithLoss("loss"), Bottoms: []string{"ip", "label"}, Tops: []string{"loss"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := solver.New(solver.Config{Type: solver.SGD, BaseLR: 0.02, Momentum: 0.9}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(80)
+	cm, err := Collect(n, "ip", "label", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Classes() != 10 || cm.Total() != 8*16 {
+		t.Fatalf("collected %d samples over %d classes", cm.Total(), cm.Classes())
+	}
+	if cm.Accuracy() < 0.5 {
+		t.Fatalf("trained net accuracy %v implausibly low", cm.Accuracy())
+	}
+	if _, err := Collect(n, "nope", "label", 1); err == nil {
+		t.Fatal("missing blob accepted")
+	}
+	if _, err := Collect(n, "ip", "label", 0); err == nil {
+		t.Fatal("zero batches accepted")
+	}
+}

@@ -1,0 +1,312 @@
+// Package net composes layers into a feed-forward network DAG and drives
+// the per-iteration forward and backward passes through an execution
+// engine, mirroring Caffe's Net<float> (§2.1 of the paper).
+//
+// Blobs are wired by name: each layer declares the names of the blobs it
+// consumes (bottoms) and produces (tops); the net resolves them, infers
+// shapes through Layer.SetUp, determines which blobs need gradients and
+// tells layers not to compute gradients nobody consumes (e.g. the first
+// convolution after the data layer, as Caffe does).
+package net
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/core"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/profile"
+)
+
+// LayerSpec declares one layer and its blob wiring.
+type LayerSpec struct {
+	Layer   layers.Layer
+	Bottoms []string
+	Tops    []string
+}
+
+// Net is a feed-forward network: layers in topological order plus the
+// blobs flowing between them.
+type Net struct {
+	specs   []LayerSpec
+	bottoms [][]*blob.Blob
+	tops    [][]*blob.Blob
+	blobs   map[string]*blob.Blob
+
+	params     []*blob.Blob
+	paramNames []string
+
+	// lossIdx lists the indices of layers implementing LossWeighter.
+	lossIdx []int
+	// needsBackward[i] reports whether layer i participates in backprop.
+	needsBackward []bool
+
+	engine   core.Engine
+	recorder *profile.Recorder
+}
+
+// New builds a network from specs, running each layer's SetUp in order.
+// The engine drives all passes and may be swapped later with SetEngine.
+func New(specs []LayerSpec, engine core.Engine) (*Net, error) {
+	if engine == nil {
+		engine = core.NewSequential()
+	}
+	n := &Net{
+		specs:  specs,
+		blobs:  make(map[string]*blob.Blob),
+		engine: engine,
+	}
+	needsGrad := make(map[string]bool)
+	// diffWriters counts, per blob, the layers whose backward pass writes
+	// the blob's gradient. Layer BackwardRange contracts OVERWRITE bottom
+	// diffs (they do not accumulate), so at most one writer is allowed;
+	// a second consumer must be gradient-free (like Accuracy) or the
+	// graph needs an explicit combining layer (Eltwise).
+	diffWriters := make(map[string]string)
+	for i, spec := range specs {
+		if spec.Layer == nil {
+			return nil, fmt.Errorf("net: spec %d has nil layer", i)
+		}
+		name := spec.Layer.Name()
+		var bots []*blob.Blob
+		for _, bn := range spec.Bottoms {
+			b, ok := n.blobs[bn]
+			if !ok {
+				return nil, fmt.Errorf("net: layer %s consumes unknown blob %q", name, bn)
+			}
+			bots = append(bots, b)
+		}
+		var tops []*blob.Blob
+		inPlace := false
+		for _, tn := range spec.Tops {
+			if existing, dup := n.blobs[tn]; dup {
+				// In-place mode (Caffe's "top == bottom", e.g. ReLU): the
+				// layer must consume the same blob it produces and declare
+				// that its backward tolerates the overwrite.
+				ipl, can := spec.Layer.(layers.InPlacer)
+				if can && ipl.CanRunInPlace() && containsString(spec.Bottoms, tn) {
+					tops = append(tops, existing)
+					inPlace = true
+					continue
+				}
+				return nil, fmt.Errorf("net: layer %s re-produces blob %q (layer does not support in-place)", name, tn)
+			}
+			t := blob.Named(tn)
+			n.blobs[tn] = t
+			tops = append(tops, t)
+		}
+		if err := spec.Layer.SetUp(bots, tops); err != nil {
+			return nil, fmt.Errorf("net: %w", err)
+		}
+		n.bottoms = append(n.bottoms, bots)
+		n.tops = append(n.tops, tops)
+
+		for pi, p := range spec.Layer.Params() {
+			n.params = append(n.params, p)
+			n.paramNames = append(n.paramNames, fmt.Sprintf("%s[%d]", name, pi))
+		}
+		if _, ok := spec.Layer.(layers.LossWeighter); ok {
+			n.lossIdx = append(n.lossIdx, i)
+		}
+
+		// Gradient-need analysis: a layer backpropagates iff it has
+		// parameters or any bottom needs a gradient; its tops then need
+		// gradients for upstream... (downstream in backward order).
+		layerNeeds := len(spec.Layer.Params()) > 0
+		flags := make([]bool, len(spec.Bottoms))
+		for bi, bn := range spec.Bottoms {
+			flags[bi] = needsGrad[bn]
+			if needsGrad[bn] {
+				layerNeeds = true
+			}
+		}
+		if _, isLoss := spec.Layer.(layers.LossWeighter); isLoss {
+			layerNeeds = true
+		}
+		if ps, ok := spec.Layer.(interface{ SetPropagateDown([]bool) }); ok {
+			ps.SetPropagateDown(flags)
+		}
+		n.needsBackward = append(n.needsBackward, layerNeeds)
+		if layerNeeds {
+			for _, tn := range spec.Tops {
+				needsGrad[tn] = true
+			}
+		}
+		if layerNeeds && spec.Layer.BackwardExtent() > 0 && !inPlace {
+			// In-place layers transform the shared blob's diff in place
+			// (read then overwrite); they are not additional writers.
+			for bi, bn := range spec.Bottoms {
+				if !flags[bi] {
+					continue
+				}
+				if prev, dup := diffWriters[bn]; dup {
+					return nil, fmt.Errorf(
+						"net: blob %q receives gradients from both %s and %s; bottom diffs overwrite, so insert an explicit combining layer (e.g. Eltwise)",
+						bn, prev, name)
+				}
+				diffWriters[bn] = name
+			}
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("net: no layers")
+	}
+	return n, nil
+}
+
+// SetEngine swaps the execution engine (e.g. to compare sequential,
+// coarse and fine runs on the same trained state).
+func (n *Net) SetEngine(e core.Engine) { n.engine = e }
+
+// Engine returns the current execution engine.
+func (n *Net) Engine() core.Engine { return n.engine }
+
+// SetRecorder attaches a per-layer timing recorder (nil detaches).
+func (n *Net) SetRecorder(r *profile.Recorder) { n.recorder = r }
+
+// Layers returns the layers in topological order.
+func (n *Net) Layers() []layers.Layer {
+	out := make([]layers.Layer, len(n.specs))
+	for i, s := range n.specs {
+		out[i] = s.Layer
+	}
+	return out
+}
+
+// Blob returns a blob by name, or nil when absent.
+func (n *Net) Blob(name string) *blob.Blob { return n.blobs[name] }
+
+// Params returns all learnable parameter blobs in layer order.
+func (n *Net) Params() []*blob.Blob { return n.params }
+
+// ParamNames returns diagnostic names parallel to Params().
+func (n *Net) ParamNames() []string { return n.paramNames }
+
+// Forward runs the full forward pass (Algorithm 1 lines 3-7, the
+// inherently sequential layer loop) and returns the weighted loss.
+func (n *Net) Forward() float64 {
+	for i, spec := range n.specs {
+		start := time.Now()
+		n.engine.Forward(spec.Layer, n.bottoms[i], n.tops[i])
+		if n.recorder != nil {
+			n.recorder.Add(spec.Layer.Name(), profile.Forward, time.Since(start))
+		}
+	}
+	return n.Loss()
+}
+
+// Loss returns the current weighted sum of loss-layer outputs.
+func (n *Net) Loss() float64 {
+	var loss float64
+	for _, i := range n.lossIdx {
+		w := n.specs[i].Layer.(layers.LossWeighter).LossWeight()
+		loss += float64(w) * float64(n.tops[i][0].Data()[0])
+	}
+	return loss
+}
+
+// Backward runs the full backward pass (Algorithm 1 lines 8-10), seeding
+// each loss layer's top gradient with its loss weight. Parameter gradients
+// ACCUMULATE; call ZeroParamDiffs first (the solver does).
+func (n *Net) Backward() {
+	for _, i := range n.lossIdx {
+		w := n.specs[i].Layer.(layers.LossWeighter).LossWeight()
+		n.tops[i][0].Diff()[0] = w
+	}
+	for i := len(n.specs) - 1; i >= 0; i-- {
+		if !n.needsBackward[i] {
+			continue
+		}
+		start := time.Now()
+		n.engine.Backward(n.specs[i].Layer, n.bottoms[i], n.tops[i])
+		if n.recorder != nil {
+			n.recorder.Add(n.specs[i].Layer.Name(), profile.Backward, time.Since(start))
+		}
+	}
+}
+
+// ForwardBackward runs one full iteration pass pair and returns the loss.
+func (n *Net) ForwardBackward() float64 {
+	loss := n.Forward()
+	n.Backward()
+	return loss
+}
+
+// ZeroParamDiffs clears all parameter gradients.
+func (n *Net) ZeroParamDiffs() {
+	for _, p := range n.params {
+		p.ZeroDiff()
+	}
+}
+
+// SetTrain toggles train/test mode on layers that distinguish them
+// (Dropout).
+func (n *Net) SetTrain(train bool) {
+	for _, s := range n.specs {
+		if d, ok := s.Layer.(interface{ SetTrain(bool) }); ok {
+			d.SetTrain(train)
+		}
+	}
+}
+
+// Output returns the scalar value of a 1-element blob (loss, accuracy).
+func (n *Net) Output(name string) (float32, error) {
+	b := n.blobs[name]
+	if b == nil {
+		return 0, fmt.Errorf("net: no blob %q", name)
+	}
+	if b.Count() != 1 {
+		return 0, fmt.Errorf("net: blob %q is not scalar (count %d)", name, b.Count())
+	}
+	return b.Data()[0], nil
+}
+
+// MemoryBytes returns the memory held by all blobs and parameters — the
+// baseline of the paper's §3.2.1 memory-overhead comparison.
+func (n *Net) MemoryBytes() int64 {
+	var total int64
+	for _, b := range n.blobs {
+		total += b.MemoryBytes()
+	}
+	for _, p := range n.params {
+		total += p.MemoryBytes()
+	}
+	return total
+}
+
+// String renders the network topology.
+func (n *Net) String() string {
+	var b strings.Builder
+	for i, s := range n.specs {
+		fmt.Fprintf(&b, "%2d %-12s %-16s %v -> %v\n", i, s.Layer.Name(), s.Layer.Type(), s.Bottoms, s.Tops)
+	}
+	return b.String()
+}
+
+// containsString reports whether xs contains s.
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// CopyParamsFrom copies parameter data from another net with an identical
+// architecture — used to run engine-equivalence comparisons from a common
+// starting point.
+func (n *Net) CopyParamsFrom(o *Net) error {
+	if len(n.params) != len(o.params) {
+		return fmt.Errorf("net: param count mismatch %d vs %d", len(n.params), len(o.params))
+	}
+	for i, p := range n.params {
+		if p.Count() != o.params[i].Count() {
+			return fmt.Errorf("net: param %d count mismatch", i)
+		}
+		p.CopyDataFrom(o.params[i])
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package par
+
+import "fmt"
+
+// Space describes a coalesced iteration space: the outermost k loops of a
+// layer's loop nest collapsed into a single counted loop, exactly the
+// transformation of Algorithm 4 (line 4) / Algorithm 5 (line 8). The paper
+// applies the coalescing so that one static-schedule iteration is a small
+// work unit, avoiding the imbalance of distributing whole batch samples.
+//
+// A Space with dims (S, D1, D2) has extent S*D1*D2 and Decompose recovers
+// (s, d1, d2) from the coalesced induction variable civ — the f_s, f_1,
+// f_2... functions of Algorithm 4 lines 5-9.
+type Space struct {
+	dims   []int
+	extent int
+}
+
+// NewSpace builds a coalesced space over the given dimensions. Zero
+// dimensions yield a zero-extent space. Negative dimensions panic.
+func NewSpace(dims ...int) Space {
+	ext := 1
+	for _, d := range dims {
+		if d < 0 {
+			panic(fmt.Sprintf("par: negative dimension %d in space %v", d, dims))
+		}
+		ext *= d
+	}
+	return Space{dims: append([]int(nil), dims...), extent: ext}
+}
+
+// Extent returns the total number of coalesced iterations.
+func (s Space) Extent() int { return s.extent }
+
+// Dims returns the coalesced dimensions (do not modify).
+func (s Space) Dims() []int { return s.dims }
+
+// Decompose writes the multi-index corresponding to civ into out, which
+// must have len(out) == len(dims). Index order matches dims order
+// (outermost first).
+func (s Space) Decompose(civ int, out []int) {
+	if len(out) != len(s.dims) {
+		panic("par: Decompose output length mismatch")
+	}
+	for i := len(s.dims) - 1; i >= 0; i-- {
+		d := s.dims[i]
+		out[i] = civ % d
+		civ /= d
+	}
+}
+
+// Index2 decomposes civ for a 2-D space, avoiding allocation in hot loops.
+func (s Space) Index2(civ int) (i0, i1 int) {
+	d1 := s.dims[1]
+	return civ / d1, civ % d1
+}
+
+// Index3 decomposes civ for a 3-D space.
+func (s Space) Index3(civ int) (i0, i1, i2 int) {
+	d2 := s.dims[2]
+	i01 := civ / d2
+	i2 = civ % d2
+	d1 := s.dims[1]
+	return i01 / d1, i01 % d1, i2
+}

@@ -1,0 +1,55 @@
+package par
+
+import "sync/atomic"
+
+// ForDynamic executes body over [0, n) with OpenMP-style dynamic
+// scheduling: workers repeatedly claim the next chunk of `chunk`
+// iterations from a shared counter until the space is exhausted.
+//
+// Dynamic scheduling tolerates irregular per-iteration cost better than
+// the static split (no rank is stuck with a fixed share), at the price of
+// the shared-counter contention and — crucially for the paper's
+// convergence argument — of *losing the fixed work-to-rank mapping*: which
+// iterations a rank executes varies between runs, so privatized
+// reductions over dynamic chunks are not deterministic even with an
+// ordered merge. This is why the coarse engine defaults to static
+// scheduling and offers dynamic only as an ablation (DESIGN.md A-coal).
+//
+// chunk < 1 is treated as 1. Like For, ranges handed to different body
+// invocations are disjoint and cover [0, n) exactly once.
+func (p *Pool) ForDynamic(n, chunk int, body func(lo, hi, rank int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if p.workers == 1 {
+		body(0, n, 0)
+		return
+	}
+	var next int64
+	p.region(func(rank int) {
+		for {
+			lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi, rank)
+		}
+	})
+}
+
+// DefaultDynamicChunk returns the chunk size the coarse engine uses for
+// dynamic scheduling: enough chunks for ~8 per worker, but never below 1.
+func DefaultDynamicChunk(n, workers int) int {
+	c := n / (8 * workers)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,88 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForDynamicExactCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, chunk := range []int{1, 3, 7, 100} {
+			p := NewPool(workers)
+			n := 500
+			hits := make([]int32, n)
+			p.ForDynamic(n, chunk, func(lo, hi, rank int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			p.Close()
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d chunk=%d: iteration %d hit %d times", workers, chunk, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForDynamicEmptyAndChunkClamp(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	called := false
+	p.ForDynamic(0, 4, func(lo, hi, rank int) { called = true })
+	if called {
+		t.Fatal("body called for empty loop")
+	}
+	// chunk <= 0 treated as 1: still exact coverage.
+	var n int32
+	p.ForDynamic(10, 0, func(lo, hi, rank int) { atomic.AddInt32(&n, int32(hi-lo)) })
+	if n != 10 {
+		t.Fatalf("covered %d", n)
+	}
+}
+
+func TestForDynamicRangesWithinBounds(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.ForDynamic(103, 10, func(lo, hi, rank int) {
+		if lo < 0 || hi > 103 || lo >= hi {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+	})
+}
+
+func TestDefaultDynamicChunk(t *testing.T) {
+	if DefaultDynamicChunk(1280, 16) != 10 {
+		t.Fatalf("chunk = %d", DefaultDynamicChunk(1280, 16))
+	}
+	if DefaultDynamicChunk(5, 16) != 1 {
+		t.Fatal("small n should clamp to 1")
+	}
+}
+
+func TestQuickForDynamicCoverage(t *testing.T) {
+	f := func(nRaw uint16, wRaw, cRaw uint8) bool {
+		n := int(nRaw % 1000)
+		w := int(wRaw%8) + 1
+		c := int(cRaw % 50)
+		p := NewPool(w)
+		defer p.Close()
+		hits := make([]int32, n)
+		p.ForDynamic(n, c, func(lo, hi, rank int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package par is the OpenMP-like shared-memory parallel runtime that the
+// coarse-grain parallelization is built on. It provides the three primitives
+// the paper's code transformation needs (§3.2, Algorithms 4 and 5):
+//
+//   - Pool.For: a parallel loop over a coalesced iteration space with
+//     OpenMP-default *static scheduling* (one contiguous chunk of
+//     ceil(n/P) iterations per thread);
+//   - per-worker privatization (workers are identified by a stable rank,
+//     so callers can index per-thread private storage);
+//   - Pool.Ordered: the `#pragma omp for ordered` analogue used for the
+//     deterministic gradient reduction — each worker's merge section runs
+//     in strictly increasing rank order, which makes the reduced value
+//     bit-identical to the sequential execution for any worker count.
+//
+// The pool keeps P long-lived goroutines pinned to ranks so that repeated
+// parallel regions (one per layer per pass per iteration — thousands per
+// second) do not pay goroutine creation costs, mirroring an OpenMP thread
+// team that persists across parallel regions.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a team of worker goroutines with stable ranks 0..P-1.
+// A Pool with P == 1 executes everything inline on the caller's goroutine,
+// which is the sequential execution the paper compares against.
+//
+// Pool methods are not safe for concurrent use by multiple goroutines: like
+// an OpenMP thread team, one parallel region runs at a time.
+type Pool struct {
+	workers int
+	cmd     []chan task // one channel per worker rank 1..P-1 (rank 0 is the caller)
+	wg      sync.WaitGroup
+
+	mu         sync.Mutex
+	firstPanic any
+
+	closed bool
+}
+
+type task func(rank int)
+
+// NewPool creates a team of n workers. n < 1 is treated as 1.
+// Workers beyond rank 0 are goroutines; rank 0 work runs on the calling
+// goroutine (like an OpenMP master thread).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{workers: n}
+	p.cmd = make([]chan task, n)
+	for r := 1; r < n; r++ {
+		p.cmd[r] = make(chan task)
+		go p.worker(r)
+	}
+	return p
+}
+
+// NewDefaultPool creates a pool sized to the machine (GOMAXPROCS).
+func NewDefaultPool() *Pool { return NewPool(runtime.GOMAXPROCS(0)) }
+
+// Workers returns the team size P.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close shuts the team down. The pool must not be used afterwards.
+// Closing an already-closed pool is a no-op.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for r := 1; r < p.workers; r++ {
+		close(p.cmd[r])
+	}
+}
+
+func (p *Pool) worker(rank int) {
+	for t := range p.cmd[rank] {
+		p.runTask(t, rank)
+	}
+}
+
+// runTask executes t(rank), converting a panic into a recorded failure so
+// that a panicking loop body cannot wedge the team: the region still
+// completes, and the first panic is re-raised on the caller's goroutine.
+func (p *Pool) runTask(t task, rank int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			if p.firstPanic == nil {
+				p.firstPanic = fmt.Sprintf("par: worker %d panicked: %v", rank, r)
+			}
+			p.mu.Unlock()
+		}
+		p.wg.Done()
+	}()
+	t(rank)
+}
+
+// region runs t once on every rank (a `#pragma omp parallel` region) and
+// waits for completion. Panics in workers are re-raised here.
+func (p *Pool) region(t task) {
+	if p.workers == 1 {
+		t(0)
+		return
+	}
+	p.wg.Add(p.workers)
+	for r := 1; r < p.workers; r++ {
+		p.cmd[r] <- t
+	}
+	p.runTask(t, 0)
+	p.wg.Wait()
+	p.mu.Lock()
+	fp := p.firstPanic
+	p.firstPanic = nil
+	p.mu.Unlock()
+	if fp != nil {
+		panic(fp)
+	}
+}
+
+// Chunk returns the static-scheduling chunk [lo, hi) assigned to the given
+// rank for an n-iteration loop: chunks are contiguous, of size ceil(n/P),
+// and the trailing ranks may receive empty ranges. This is the OpenMP
+// default ("static") schedule and is exposed so tests and the analytic
+// scalability model can reason about the exact work distribution.
+func Chunk(n, workers, rank int) (lo, hi int) {
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	lo = rank * chunk
+	hi = lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// For executes body over the iteration space [0, n) using static
+// scheduling: worker r runs body(lo_r, hi_r, r) exactly once with the
+// contiguous range returned by Chunk. Workers whose range is empty still
+// enter the region (they may own private state) but body is not called for
+// them. For blocks until all workers finish.
+//
+// body must not assume any execution order between ranks; ranges of
+// distinct ranks are disjoint, so writes indexed by the iteration variable
+// are race-free by construction.
+func (p *Pool) For(n int, body func(lo, hi, rank int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		body(0, n, 0)
+		return
+	}
+	p.region(func(rank int) {
+		lo, hi := Chunk(n, p.workers, rank)
+		if lo < hi {
+			body(lo, hi, rank)
+		}
+	})
+}
+
+// Region runs body once per rank, like `#pragma omp parallel` with no
+// worksharing loop. Useful when the caller wants full control over private
+// allocation and work splitting.
+func (p *Pool) Region(body func(rank int)) {
+	p.region(body)
+}
+
+// Ordered runs body(rank) for every rank in strictly increasing rank order,
+// on the caller's goroutine. This is the reduction idiom of Algorithm 5
+// (lines 22-23): after the parallel loop has filled per-rank private
+// gradient blobs, the merge happens in a fixed order so the result is
+// bit-identical to a sequential execution regardless of the worker count.
+//
+// The merge itself is sequential by design: the paper chooses the ordered
+// update over an unordered reduction precisely to preserve the sequential
+// loss trace for debugging and tuning (§3.2.1).
+func (p *Pool) Ordered(body func(rank int)) {
+	for r := 0; r < p.workers; r++ {
+		body(r)
+	}
+}
+
+// ForOrdered is a convenience composition: a static parallel loop followed
+// by an in-order merge phase. compute(lo, hi, rank) runs in parallel;
+// merge(rank) then runs sequentially for rank = 0..P-1.
+func (p *Pool) ForOrdered(n int, compute func(lo, hi, rank int), merge func(rank int)) {
+	p.For(n, compute)
+	p.Ordered(merge)
+}
+
+// ReduceTree merges per-rank partial results with a pairwise tree:
+// combine(dst, src) must fold partial src into partial dst. Tree reduction
+// is the *unordered* alternative the paper mentions — cheaper in parallel
+// (log P depth) but not guaranteed to reproduce the sequential value
+// because float addition is not associative. It is provided for the
+// ablation study (A-red in DESIGN.md).
+func (p *Pool) ReduceTree(combine func(dst, src int)) {
+	for stride := 1; stride < p.workers; stride *= 2 {
+		pairs := make([][2]int, 0, p.workers/(2*stride)+1)
+		for lo := 0; lo+stride < p.workers; lo += 2 * stride {
+			pairs = append(pairs, [2]int{lo, lo + stride})
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		p.For(len(pairs), func(plo, phi, _ int) {
+			for i := plo; i < phi; i++ {
+				combine(pairs[i][0], pairs[i][1])
+			}
+		})
+	}
+}

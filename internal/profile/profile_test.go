@@ -1,0 +1,103 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddAndStats(t *testing.T) {
+	r := NewRecorder()
+	r.Add("conv1", Forward, 10*time.Microsecond)
+	r.Add("conv1", Forward, 30*time.Microsecond)
+	r.Add("conv1", Backward, 100*time.Microsecond)
+	s := r.Stat("conv1", Forward)
+	if s.Count != 2 || s.Total != 40*time.Microsecond {
+		t.Fatalf("stat %+v", s)
+	}
+	if s.Min != 10*time.Microsecond || s.Max != 30*time.Microsecond {
+		t.Fatalf("min/max %+v", s)
+	}
+	if r.Mean("conv1", Forward) != 20*time.Microsecond {
+		t.Fatalf("mean %v", r.Mean("conv1", Forward))
+	}
+	if r.Mean("conv1", Backward) != 100*time.Microsecond {
+		t.Fatal("backward mean wrong")
+	}
+}
+
+func TestMissingIsZero(t *testing.T) {
+	r := NewRecorder()
+	if r.Mean("nope", Forward) != 0 {
+		t.Fatal("missing layer should be zero")
+	}
+	if s := r.Stat("nope", Backward); s.Count != 0 {
+		t.Fatal("missing stat should be zero value")
+	}
+	if (Stat{}).Mean() != 0 {
+		t.Fatal("zero stat mean should be 0")
+	}
+}
+
+func TestLayerOrderIsFirstSeen(t *testing.T) {
+	r := NewRecorder()
+	r.Add("b", Forward, time.Microsecond)
+	r.Add("a", Forward, time.Microsecond)
+	r.Add("b", Backward, time.Microsecond)
+	got := r.Layers()
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("order %v", got)
+	}
+}
+
+func TestTotalMean(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", Forward, 10*time.Microsecond)
+	r.Add("a", Backward, 20*time.Microsecond)
+	r.Add("b", Forward, 5*time.Microsecond)
+	if r.TotalMean() != 35*time.Microsecond {
+		t.Fatalf("total %v", r.TotalMean())
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", Forward, time.Microsecond)
+	r.Reset()
+	if len(r.Layers()) != 0 || r.TotalMean() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestTableContainsLayersAndWeights(t *testing.T) {
+	r := NewRecorder()
+	r.Add("conv1", Forward, 75*time.Microsecond)
+	r.Add("conv1", Backward, 0)
+	r.Add("loss", Forward, 25*time.Microsecond)
+	tbl := r.Table()
+	for _, want := range []string{"conv1", "loss", "75.0", "TOTAL"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if !strings.Contains(tbl, "75.0%") {
+		t.Fatalf("relative weight missing:\n%s", tbl)
+	}
+}
+
+func TestSortedLayersByCost(t *testing.T) {
+	r := NewRecorder()
+	r.Add("small", Forward, time.Microsecond)
+	r.Add("big", Forward, 100*time.Microsecond)
+	r.Add("mid", Backward, 10*time.Microsecond)
+	got := r.SortedLayersByCost()
+	if got[0] != "big" || got[1] != "mid" || got[2] != "small" {
+		t.Fatalf("sorted %v", got)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if Forward.String() != "forward" || Backward.String() != "backward" {
+		t.Fatal("phase strings wrong")
+	}
+}

@@ -1,0 +1,259 @@
+package replica
+
+import (
+	"math"
+	"testing"
+
+	"coarsegrain/internal/core"
+	"coarsegrain/internal/data"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/rng"
+	"coarsegrain/internal/solver"
+	"coarsegrain/internal/zoo"
+)
+
+const (
+	globalBatch = 16
+	sourceLen   = 128
+	dataSeed    = 55
+	weightSeed  = 77
+)
+
+func solverCfg() solver.Config {
+	return solver.Config{Type: solver.SGD, BaseLR: 0.01, Momentum: 0.9}
+}
+
+// buildReplicas constructs r LeNet replicas over contiguous shards of the
+// same synthetic stream, all with identical weights.
+func buildReplicas(t *testing.T, r int, eng func() core.Engine) []*net.Net {
+	t.Helper()
+	src := data.NewSyntheticMNIST(sourceLen, dataSeed)
+	out := make([]*net.Net, r)
+	for i := 0; i < r; i++ {
+		shard, err := data.NewShard(src, i, r, globalBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := tinySpecs(t, shard, shard.LocalBatch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e core.Engine
+		if eng != nil {
+			e = eng()
+		}
+		n, err := net.New(specs, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = n
+	}
+	return out
+}
+
+func TestShardMapping(t *testing.T) {
+	src := data.NewSyntheticMNIST(32, 1)
+	s0, err := data.NewShard(src, 0, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := data.NewShard(src, 1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Len() != 16 || s0.LocalBatch() != 4 {
+		t.Fatalf("shard len %d local %d", s0.Len(), s0.LocalBatch())
+	}
+	// Global batch 0 = samples 0..7; shard 0 sees 0..3, shard 1 sees 4..7.
+	buf := make([]float32, 28*28)
+	ref := make([]float32, 28*28)
+	for i := 0; i < 4; i++ {
+		lab := s0.Read(i, buf)
+		wantLab := src.Read(i, ref)
+		if lab != wantLab {
+			t.Fatalf("shard0[%d] label %d want %d", i, lab, wantLab)
+		}
+		lab = s1.Read(i, buf)
+		wantLab = src.Read(i+4, ref)
+		if lab != wantLab {
+			t.Fatalf("shard1[%d] label %d want %d", i, lab, wantLab)
+		}
+	}
+	// Local index 4 starts global batch 1 = global sample 8 (shard 0).
+	if got, want := s0.Read(4, buf), src.Read(8, ref); got != want {
+		t.Fatalf("shard0[4] label %d want %d", got, want)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	src := data.NewSyntheticMNIST(32, 1)
+	if _, err := data.NewShard(src, 0, 3, 8); err == nil {
+		t.Fatal("indivisible batch accepted")
+	}
+	if _, err := data.NewShard(src, 2, 2, 8); err == nil {
+		t.Fatal("out-of-range replica accepted")
+	}
+	if _, err := data.NewShard(src, 0, 2, 7); err == nil {
+		t.Fatal("misaligned source length accepted")
+	}
+}
+
+func TestTrainerValidation(t *testing.T) {
+	if _, err := New(nil, solverCfg()); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	reps := buildReplicas(t, 2, nil)
+	// Corrupt replica 1's weights: must be rejected.
+	reps[1].Params()[0].Data()[0] += 1
+	if _, err := New(reps, solverCfg()); err == nil {
+		t.Fatal("mismatched initial weights accepted")
+	}
+}
+
+// The multi-GPU convergence-invariance claim: R replicas over shards of
+// the global batch produce the same loss trace as one device over the
+// whole batch.
+func TestReplicatedMatchesSingleDevice(t *testing.T) {
+	// Single device: full global batch.
+	src := data.NewSyntheticMNIST(sourceLen, dataSeed)
+	specs, err := tinySpecs(t, src, globalBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := net.New(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := solver.New(solverCfg(), single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := s.Step(12)
+
+	for _, r := range []int{2, 4} {
+		tr, err := New(buildReplicas(t, r, nil), solverCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.Step(12)
+		for i := range ref {
+			rel := math.Abs(got[i]-ref[i]) / math.Max(ref[i], 1e-12)
+			if rel > 1e-4 {
+				t.Fatalf("replicas=%d: trace diverged at iter %d: %v vs %v (rel %g)",
+					r, i, got[i], ref[i], rel)
+			}
+		}
+		if tr.Iter() != 12 || tr.Replicas() != r {
+			t.Fatalf("trainer state wrong: iter %d replicas %d", tr.Iter(), tr.Replicas())
+		}
+	}
+}
+
+// Replicated training is bit-deterministic across runs: the combine phase
+// sums gradients in replica order.
+func TestReplicatedDeterministic(t *testing.T) {
+	runOK := func() []float64 {
+		tr, err := New(buildReplicas(t, 4, nil), solverCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Step(8)
+	}
+	a := runOK()
+	b := runOK()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replicated training not deterministic at iter %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Replicas compose with the coarse engine: each "device" runs batch-level
+// parallel workers internally.
+func TestReplicasComposeWithCoarseEngine(t *testing.T) {
+	engines := make([]core.Engine, 0, 2)
+	tr, err := New(buildReplicas(t, 2, func() core.Engine {
+		e := core.NewCoarse(2)
+		engines = append(engines, e)
+		return e
+	}), solverCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	losses := tr.Step(15)
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestTrainerAccuracyAggregation(t *testing.T) {
+	src := data.NewSyntheticMNIST(sourceLen, dataSeed)
+	reps := make([]*net.Net, 2)
+	for i := range reps {
+		shard, err := data.NewShard(src, i, 2, globalBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := zoo.LeNet(shard, zoo.Options{BatchSize: shard.LocalBatch(), Seed: weightSeed, Accuracy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := net.New(specs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = n
+	}
+	tr, err := New(reps, solverCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Step(2)
+	acc, err := tr.Accuracy("accuracy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("aggregated accuracy %v", acc)
+	}
+	if _, err := tr.Accuracy("missing"); err == nil {
+		t.Fatal("missing blob accepted")
+	}
+}
+
+// tinySpecs builds a small conv net (conv 4x5x5/2 -> relu -> ip 10 ->
+// loss) — enough structure for the equivalence experiments at a fraction
+// of LeNet's cost.
+func tinySpecs(t *testing.T, src layers.Source, batch int) ([]net.LayerSpec, error) {
+	t.Helper()
+	d, err := layers.NewData("data", src, batch)
+	if err != nil {
+		return nil, err
+	}
+	conv, err := layers.NewConvolution("conv1", layers.ConvConfig{
+		NumOutput: 4, Kernel: 5, Stride: 2,
+		WeightFiller: layers.XavierFiller{}, RNG: rng.New(weightSeed, 1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ip, err := layers.NewInnerProduct("ip1", layers.IPConfig{
+		NumOutput: 10, WeightFiller: layers.XavierFiller{}, RNG: rng.New(weightSeed, 2),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []net.LayerSpec{
+		{Layer: d, Tops: []string{"data", "label"}},
+		{Layer: conv, Bottoms: []string{"data"}, Tops: []string{"conv1"}},
+		{Layer: layers.NewReLU("relu1", 0), Bottoms: []string{"conv1"}, Tops: []string{"relu1"}},
+		{Layer: ip, Bottoms: []string{"relu1"}, Tops: []string{"ip1"}},
+		{Layer: layers.NewSoftmaxWithLoss("loss"), Bottoms: []string{"ip1", "label"}, Tops: []string{"loss"}},
+	}, nil
+}

@@ -1,0 +1,354 @@
+// Package snapshot serializes trained network parameters and solver state
+// to a compact binary format, mirroring Caffe's snapshotting: training can
+// be paused, saved, resumed and the learned coefficients (the output of
+// the training algorithm, Algorithm 1) shipped to an evaluation process.
+//
+// The format is versioned and self-describing:
+//
+//	magic "CGDNN" | version u8 | section count u32
+//	per section: name (u16 len + bytes) | rank u8 | dims (u32 each) |
+//	             float32 payload (little endian)
+//
+// Network parameters are stored by their ParamNames; solver snapshots
+// additionally store the iteration counter and per-parameter history
+// (momentum / accumulated squared gradients).
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/solver"
+)
+
+var magic = [5]byte{'C', 'G', 'D', 'N', 'N'}
+
+const version = 1
+
+// section is one named tensor in the file.
+type section struct {
+	name  string
+	shape []int
+	data  []float32
+}
+
+func writeSections(w io.Writer, secs []section) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(secs))); err != nil {
+		return err
+	}
+	for _, s := range secs {
+		if len(s.name) > math.MaxUint16 {
+			return fmt.Errorf("snapshot: section name too long (%d bytes)", len(s.name))
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(s.name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s.name); err != nil {
+			return err
+		}
+		if len(s.shape) > 255 {
+			return fmt.Errorf("snapshot: rank %d too large", len(s.shape))
+		}
+		if err := bw.WriteByte(byte(len(s.shape))); err != nil {
+			return err
+		}
+		for _, d := range s.shape {
+			if d < 0 || d > math.MaxUint32 {
+				return fmt.Errorf("snapshot: dimension %d out of range", d)
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, s.data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func readSections(r io.Reader) ([]section, error) {
+	br := bufio.NewReader(r)
+	var m [5]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", m)
+	}
+	v, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("snapshot: implausible section count %d", count)
+	}
+	secs := make([]section, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		rank, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		shape := make([]int, rank)
+		total := 1
+		for j := range shape {
+			var d uint32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return nil, err
+			}
+			if d > 1<<28 {
+				return nil, fmt.Errorf("snapshot: dimension %d too large", d)
+			}
+			shape[j] = int(d)
+			total *= int(d)
+		}
+		data := make([]float32, total)
+		if err := binary.Read(br, binary.LittleEndian, data); err != nil {
+			return nil, fmt.Errorf("snapshot: reading %q payload: %w", nameBuf, err)
+		}
+		secs = append(secs, section{name: string(nameBuf), shape: shape, data: data})
+	}
+	return secs, nil
+}
+
+// Stater is implemented by layers carrying non-learnable state that must
+// survive a snapshot (BatchNorm's moving averages).
+type Stater interface {
+	StateBlobs() []*blob.Blob
+}
+
+func netSections(n *net.Net) []section {
+	params := n.Params()
+	names := n.ParamNames()
+	secs := make([]section, len(params))
+	for i, p := range params {
+		secs[i] = section{name: names[i], shape: p.Shape(), data: p.Data()}
+	}
+	for _, l := range n.Layers() {
+		st, ok := l.(Stater)
+		if !ok {
+			continue
+		}
+		for i, b := range st.StateBlobs() {
+			secs = append(secs, section{
+				name:  fmt.Sprintf("%s%s__%d", statePrefix, l.Name(), i),
+				shape: b.Shape(),
+				data:  b.Data(),
+			})
+		}
+	}
+	return secs
+}
+
+// restoreState loads layer state sections back into Stater layers.
+func restoreState(n *net.Net, byName map[string]section) error {
+	for _, l := range n.Layers() {
+		st, ok := l.(Stater)
+		if !ok {
+			continue
+		}
+		for i, b := range st.StateBlobs() {
+			key := fmt.Sprintf("%s%s__%d", statePrefix, l.Name(), i)
+			sec, ok := byName[key]
+			if !ok {
+				return fmt.Errorf("snapshot: missing layer state %q", key)
+			}
+			if len(sec.data) != b.Count() {
+				return fmt.Errorf("snapshot: layer state %q size mismatch", key)
+			}
+			copy(b.Data(), sec.data)
+		}
+	}
+	return nil
+}
+
+// SaveNet writes the network's learnable parameters.
+func SaveNet(w io.Writer, n *net.Net) error {
+	return writeSections(w, netSections(n))
+}
+
+// LoadNet restores parameters saved by SaveNet into an architecturally
+// identical network (matched by parameter name and element count).
+func LoadNet(r io.Reader, n *net.Net) error {
+	secs, err := readSections(r)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]section, len(secs))
+	for _, s := range secs {
+		byName[s.name] = s
+	}
+	params := n.Params()
+	names := n.ParamNames()
+	for i, p := range params {
+		s, ok := byName[names[i]]
+		if !ok {
+			return fmt.Errorf("snapshot: missing parameter %q", names[i])
+		}
+		if len(s.data) != p.Count() {
+			return fmt.Errorf("snapshot: parameter %q has %d values, net expects %d",
+				names[i], len(s.data), p.Count())
+		}
+		copy(p.Data(), s.data)
+	}
+	return restoreState(n, byName)
+}
+
+// SaveNetFile / LoadNetFile are path convenience wrappers.
+func SaveNetFile(path string, n *net.Net) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveNet(f, n); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadNetFile restores parameters from a file written by SaveNetFile.
+func LoadNetFile(path string, n *net.Net) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadNet(f, n)
+}
+
+// solver state is stored as extra sections with reserved names.
+const (
+	iterSection    = "__solver_iter__"
+	historyPrefix  = "__history__"
+	history2Prefix = "__history2__"
+	statePrefix    = "__state__"
+)
+
+// SaveSolver writes network parameters plus solver state (iteration
+// counter and update history), enabling exact training resumption.
+func SaveSolver(w io.Writer, s *solver.Solver) error {
+	secs := netSections(s.Net())
+	secs = append(secs, section{
+		name:  iterSection,
+		shape: []int{1},
+		data:  []float32{float32(s.Iter())},
+	})
+	for i, h := range s.History() {
+		secs = append(secs, section{
+			name:  fmt.Sprintf("%s%d", historyPrefix, i),
+			shape: h.Shape(),
+			data:  h.Data(),
+		})
+	}
+	for i, h := range s.History2() {
+		secs = append(secs, section{
+			name:  fmt.Sprintf("%s%d", history2Prefix, i),
+			shape: h.Shape(),
+			data:  h.Data(),
+		})
+	}
+	return writeSections(w, secs)
+}
+
+// LoadSolver restores a snapshot written by SaveSolver into a solver built
+// over an architecturally identical network.
+func LoadSolver(r io.Reader, s *solver.Solver) error {
+	secs, err := readSections(r)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]section, len(secs))
+	for _, sec := range secs {
+		byName[sec.name] = sec
+	}
+	n := s.Net()
+	for i, p := range n.Params() {
+		sec, ok := byName[n.ParamNames()[i]]
+		if !ok {
+			return fmt.Errorf("snapshot: missing parameter %q", n.ParamNames()[i])
+		}
+		if len(sec.data) != p.Count() {
+			return fmt.Errorf("snapshot: parameter %q size mismatch", sec.name)
+		}
+		copy(p.Data(), sec.data)
+	}
+	it, ok := byName[iterSection]
+	if !ok || len(it.data) != 1 {
+		return fmt.Errorf("snapshot: not a solver snapshot (no iteration section)")
+	}
+	s.RestoreIter(int(it.data[0]))
+	for i, h := range s.History() {
+		sec, ok := byName[fmt.Sprintf("%s%d", historyPrefix, i)]
+		if !ok {
+			return fmt.Errorf("snapshot: missing history %d", i)
+		}
+		if len(sec.data) != h.Count() {
+			return fmt.Errorf("snapshot: history %d size mismatch", i)
+		}
+		copy(h.Data(), sec.data)
+	}
+	for i, h := range s.History2() {
+		sec, ok := byName[fmt.Sprintf("%s%d", history2Prefix, i)]
+		if !ok {
+			return fmt.Errorf("snapshot: missing second-moment history %d (snapshot from a different solver type?)", i)
+		}
+		if len(sec.data) != h.Count() {
+			return fmt.Errorf("snapshot: second-moment history %d size mismatch", i)
+		}
+		copy(h.Data(), sec.data)
+	}
+	return restoreState(n, byName)
+}
+
+// SaveSolverFile / LoadSolverFile are path convenience wrappers.
+func SaveSolverFile(path string, s *solver.Solver) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveSolver(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSolverFile restores solver state from a file written by
+// SaveSolverFile.
+func LoadSolverFile(path string, s *solver.Solver) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadSolver(f, s)
+}
