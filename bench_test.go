@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"coarsegrain/internal/bench"
 	"coarsegrain/internal/blas"
 	"coarsegrain/internal/blob"
 	"coarsegrain/internal/core"
@@ -297,6 +298,48 @@ func BenchmarkGemmParallel(b *testing.B) {
 				blas.GemmParallel(p, blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, bm, n, 0, c, n)
 			}
 		})
+	}
+}
+
+// BenchmarkGemmKernels times the retained reference kernel against the
+// blocked packed kernel on the exact GEMM shapes the benchmark networks
+// emit (bench.NetGemmShapes; PERFORMANCE.md records a run). SetBytes is
+// the flop count, so the MB/s column reads directly as MFLOP/s.
+func BenchmarkGemmKernels(b *testing.B) {
+	r := rng.New(11, 11)
+	for _, netName := range []string{"mnist", "cifar"} {
+		for _, s := range bench.NetGemmShapes(netName) {
+			arows, acols := s.M, s.K
+			if s.TransA == blas.Trans {
+				arows, acols = s.K, s.M
+			}
+			brows, bcols := s.K, s.N
+			if s.TransB == blas.Trans {
+				brows, bcols = s.N, s.K
+			}
+			a := make([]float32, arows*acols)
+			bm := make([]float32, brows*bcols)
+			c := make([]float32, s.M*s.N)
+			for i := range a {
+				a[i] = r.Range(-1, 1)
+			}
+			for i := range bm {
+				bm[i] = r.Range(-1, 1)
+			}
+			flops := int64(2) * int64(s.M) * int64(s.N) * int64(s.K)
+			b.Run(fmt.Sprintf("%s/%s/ref", netName, s.Name), func(b *testing.B) {
+				b.SetBytes(flops)
+				for i := 0; i < b.N; i++ {
+					blas.GemmReference(s.TransA, s.TransB, s.M, s.N, s.K, 1, a, acols, bm, bcols, 0, c, s.N)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/%s/blocked", netName, s.Name), func(b *testing.B) {
+				b.SetBytes(flops)
+				for i := 0; i < b.N; i++ {
+					blas.Gemm(s.TransA, s.TransB, s.M, s.N, s.K, 1, a, acols, bm, bcols, 0, c, s.N)
+				}
+			})
+		}
 	}
 }
 

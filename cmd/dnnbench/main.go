@@ -7,6 +7,7 @@
 //	dnnbench -figure 7        # CIFAR per-layer times        (Figure 7)
 //	dnnbench -figure 8        # CIFAR per-layer scalability  (Figure 8)
 //	dnnbench -figure 9        # CIFAR overall + GPU          (Figure 9)
+//	dnnbench -figure gemm     # GEMM kernel: reference vs blocked
 //	dnnbench -figure mem      # §3.2.1 privatization memory
 //	dnnbench -figure conv     # convergence invariance
 //	dnnbench -figure ablation # reduction & coalescing ablations
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to reproduce: 4-9, mem, conv, ablation, engines, all")
+		figure  = flag.String("figure", "all", "figure to reproduce: 4-9, gemm, mem, conv, ablation, engines, all")
 		netName = flag.String("net", "", "override benchmark network (mnist|cifar)")
 		batch   = flag.Int("batch", 0, "override batch size (default: paper's 64/100)")
 		samples = flag.Int("samples", 0, "synthetic dataset size (default 4*batch)")
@@ -103,12 +104,26 @@ func main() {
 			}
 			fmt.Println("### Figure 9 ###")
 			res.Render(os.Stdout)
-		case "mem":
+		case "gemm":
 			for _, n := range []string{"mnist", "cifar"} {
-				o := baseOpt(n)
-				if *netName != "" && o.Net != *netName {
+				if *netName != "" && n != *netName {
 					continue
 				}
+				o := baseOpt(n)
+				o.Net = n
+				res, err := bench.GemmKernels(o)
+				if err != nil {
+					return err
+				}
+				fmt.Println("### GEMM kernel comparison ###")
+				res.Render(os.Stdout)
+			}
+		case "mem":
+			for _, n := range []string{"mnist", "cifar"} {
+				if *netName != "" && n != *netName {
+					continue
+				}
+				o := baseOpt(n)
 				o.Net = n
 				res, err := bench.Memory(o)
 				if err != nil {
@@ -147,7 +162,7 @@ func main() {
 
 	figs := []string{*figure}
 	if *figure == "all" {
-		figs = []string{"4", "5", "6", "7", "8", "9", "mem", "conv", "ablation", "engines"}
+		figs = []string{"4", "5", "6", "7", "8", "9", "gemm", "mem", "conv", "ablation", "engines"}
 	}
 	for _, f := range figs {
 		if err := run(f); err != nil {

@@ -385,3 +385,26 @@ func TestEngineComparison(t *testing.T) {
 		t.Fatal("render missing rows")
 	}
 }
+
+func TestGemmKernelsReportsEveryShape(t *testing.T) {
+	for _, netName := range []string{"mnist", "cifar"} {
+		res, err := GemmKernels(Options{Net: netName, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Shapes) == 0 || len(res.RefMFLOPS) != len(res.Shapes) || len(res.BlockedMFLOPS) != len(res.Shapes) {
+			t.Fatalf("%s: ragged result: %d shapes, %d ref, %d blocked",
+				netName, len(res.Shapes), len(res.RefMFLOPS), len(res.BlockedMFLOPS))
+		}
+		for i, s := range res.Shapes {
+			if res.RefMFLOPS[i] <= 0 || res.BlockedMFLOPS[i] <= 0 {
+				t.Fatalf("%s/%s: non-positive throughput", netName, s.Name)
+			}
+		}
+		var buf bytes.Buffer
+		res.Render(&buf)
+		if !strings.Contains(buf.String(), "conv1-fwd") {
+			t.Fatalf("%s: render missing shapes:\n%s", netName, buf.String())
+		}
+	}
+}

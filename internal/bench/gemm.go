@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"coarsegrain/internal/blas"
+	"coarsegrain/internal/rng"
+)
+
+// GemmShape is one GEMM a benchmark network actually issues: per-sample
+// lowered convolutions (M = output channels, N = outH*outW, K = C*KH*KW)
+// and batch-band fully connected passes (M = batch). These are the shapes
+// PERFORMANCE.md's kernel table reports and the shapes the blocked kernel
+// is tuned for.
+type GemmShape struct {
+	Name           string
+	TransA, TransB blas.Transpose
+	M, N, K        int
+}
+
+// NetGemmShapes returns the GEMM shapes the selected benchmark network
+// ("mnist" or "cifar") emits on its lowered-convolution and fully
+// connected paths, forward and backward.
+func NetGemmShapes(netName string) []GemmShape {
+	nt, tr := blas.NoTrans, blas.Trans
+	if netName == "cifar" {
+		return []GemmShape{
+			{"conv1-fwd", nt, nt, 32, 1024, 75},
+			{"conv2-fwd", nt, nt, 32, 256, 800},
+			{"conv3-fwd", nt, nt, 64, 64, 800},
+			{"conv1-bwdX", tr, nt, 75, 1024, 32},
+		}
+	}
+	return []GemmShape{
+		{"conv1-fwd", nt, nt, 20, 576, 25},
+		{"conv2-fwd", nt, nt, 50, 64, 500},
+		{"conv2-bwdW", nt, tr, 50, 500, 64},
+		{"conv2-bwdX", tr, nt, 500, 64, 50},
+		{"ip1-fwd", nt, tr, 64, 500, 800},
+		{"ip1-bwdW", tr, nt, 500, 800, 64},
+	}
+}
+
+// GemmKernelResult compares the retained reference kernel against the
+// blocked packed kernel on the network's own GEMM shapes.
+type GemmKernelResult struct {
+	Net    string
+	Shapes []GemmShape
+	// RefMFLOPS[i] and BlockedMFLOPS[i] are throughputs for Shapes[i].
+	RefMFLOPS, BlockedMFLOPS []float64
+}
+
+// Render prints the kernel comparison table.
+func (r *GemmKernelResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s GEMM kernel throughput (reference vs blocked, this host) ==\n", r.Net)
+	fmt.Fprintf(w, "%-12s %6s %6s %6s %12s %12s %8s\n", "shape", "M", "N", "K", "ref MFLOP/s", "blk MFLOP/s", "speedup")
+	for i, s := range r.Shapes {
+		sp := 0.0
+		if r.RefMFLOPS[i] > 0 {
+			sp = r.BlockedMFLOPS[i] / r.RefMFLOPS[i]
+		}
+		fmt.Fprintf(w, "%-12s %6d %6d %6d %12.0f %12.0f %7.2fx\n",
+			s.Name, s.M, s.N, s.K, r.RefMFLOPS[i], r.BlockedMFLOPS[i], sp)
+	}
+}
+
+// GemmKernels runs the kernel comparison for the selected network. Small
+// shapes dispatch to the reference kernel on both sides (the blocked path
+// declines them), so their speedup is ~1 by construction.
+func GemmKernels(o Options) (*GemmKernelResult, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	res := &GemmKernelResult{Net: o.Net, Shapes: NetGemmShapes(o.Net)}
+	for _, s := range res.Shapes {
+		ref := timeGemm(s, blas.GemmReference)
+		blk := timeGemm(s, func(ta, tb blas.Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+			blas.Gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		})
+		res.RefMFLOPS = append(res.RefMFLOPS, ref)
+		res.BlockedMFLOPS = append(res.BlockedMFLOPS, blk)
+	}
+	return res, nil
+}
+
+type gemmFunc func(ta, tb blas.Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int)
+
+// timeGemm returns the throughput of f on shape s in MFLOP/s, timing
+// enough repetitions to average out scheduler noise.
+func timeGemm(s GemmShape, f gemmFunc) float64 {
+	arows, acols := s.M, s.K
+	if s.TransA == blas.Trans {
+		arows, acols = s.K, s.M
+	}
+	brows, bcols := s.K, s.N
+	if s.TransB == blas.Trans {
+		brows, bcols = s.N, s.K
+	}
+	r := rng.New(11, 11)
+	a := make([]float32, arows*acols)
+	b := make([]float32, brows*bcols)
+	c := make([]float32, s.M*s.N)
+	for i := range a {
+		a[i] = r.Range(-1, 1)
+	}
+	for i := range b {
+		b[i] = r.Range(-1, 1)
+	}
+	run := func(reps int) time.Duration {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			f(s.TransA, s.TransB, s.M, s.N, s.K, 1, a, acols, b, bcols, 0, c, s.N)
+		}
+		return time.Since(start)
+	}
+	// Calibrate the repetition count to a ~20ms measurement window.
+	reps := 1
+	for {
+		if d := run(reps); d > 2*time.Millisecond {
+			reps = int(float64(reps) * float64(20*time.Millisecond) / float64(d))
+			if reps < 1 {
+				reps = 1
+			}
+			break
+		}
+		reps *= 4
+	}
+	elapsed := run(reps)
+	flops := 2 * float64(s.M) * float64(s.N) * float64(s.K) * float64(reps)
+	return flops / elapsed.Seconds() / 1e6
+}

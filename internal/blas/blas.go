@@ -4,14 +4,35 @@
 // piecewise over blob segments). It replaces the OpenBLAS dependency of the
 // paper's Caffe configuration.
 //
-// Two granularities are provided, mirroring the paper's taxonomy of
-// parallelism sources (§3.1):
+// # Kernel hierarchy
+//
+// Gemm is organised as three levels, the same structure OpenBLAS uses
+// (see PERFORMANCE.md for block sizes and measurements):
+//
+//   - Gemm / GemmRows: dispatch. Large shapes (useBlockedGemm) go to the
+//     cache-blocked kernel; tiny shapes run gemmRef, the original i-k-j
+//     loop, which also serves as the reference for differential tests.
+//   - macro-tiles: the blocked kernel walks C in gemmMC x gemmNC tiles,
+//     packing gemmKC-deep panels of op(A) and op(B) into contiguous
+//     scratch (GemmScratch) so the inner loops read two linear streams.
+//   - micro-kernel: gemmKernel4x4 computes a 4x4 tile of C in registers
+//     with a rank-gemmKC update from one A panel and one B panel.
+//
+// Two parallel granularities are provided, mirroring the paper's taxonomy
+// of parallelism sources (§3.1):
 //
 //   - serial kernels (Gemm, Gemv, Axpy, ...) used inside coarse-grain
 //     (batch-level) parallel regions, where the *caller* owns the threads;
-//   - fine-grain parallel kernels (GemmParallel, ...) that split the
-//     BLAS operation itself across a worker pool; these implement the
-//     "BLAS level parallelism" (§3.1.1) used by the fine-grain engines.
+//   - fine-grain parallel kernels (GemmParallel, ...) that split the BLAS
+//     operation itself across a worker pool — GemmParallel hands each
+//     worker a contiguous, micro-tile-aligned row band of C and runs the
+//     blocked kernel inside the band. These implement the "BLAS level
+//     parallelism" (§3.1.1) used by the fine-grain engines.
+//
+// Every partition of one logical Gemm — serial, any GemmRows banding, any
+// GemmParallel worker count — produces bit-identical C; see the
+// determinism contract in gemm_blocked.go. The coarse engine's
+// "bit-identical forward for any worker count" guarantee rests on this.
 //
 // All matrices are row-major, mirroring the C-contiguous blob layout.
 package blas
@@ -36,21 +57,65 @@ const (
 // op(A) is M x K, op(B) is K x N, C is M x N. lda/ldb/ldc are the leading
 // (row) strides of the *stored* matrices.
 //
-// The kernel is written as an i-k-j loop with a row accumulator, which
-// vectorizes reasonably and keeps B accesses sequential.
+// Large shapes run the cache-blocked packed kernel (gemm_blocked.go) with
+// packing buffers drawn from a package pool; callers issuing many Gemms
+// in a loop should use GemmWithScratch to reuse one set of buffers.
 func Gemm(transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	checkGemm(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
-	GemmRows(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, m)
+	gemmBand(nil, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, m)
+}
+
+// GemmWithScratch is Gemm with caller-owned packing buffers. The scratch
+// is only touched for shapes that take the blocked path; its zero value
+// is ready to use and grows on demand.
+func GemmWithScratch(s *GemmScratch, transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	checkGemm(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
+	gemmBand(s, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, m)
 }
 
 // GemmRows computes rows [rowLo, rowHi) of the Gemm result. It is the
 // work-splittable core used by both Gemm (full range) and GemmParallel
 // (one contiguous row band per worker). Bands of distinct workers touch
-// disjoint rows of C, so the parallel composition is race-free.
+// disjoint rows of C, so the parallel composition is race-free; the band
+// split does not change the computed values (see gemm_blocked.go).
 func GemmRows(transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int, rowLo, rowHi int) {
 	if rowLo < 0 || rowHi > m || rowLo > rowHi {
 		panic(fmt.Sprintf("blas: bad row band [%d,%d) for m=%d", rowLo, rowHi, m))
 	}
+	gemmBand(nil, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, rowLo, rowHi)
+}
+
+// GemmReference runs the pre-blocking i-k-j kernel unconditionally,
+// bypassing the blocked-path dispatch. It exists as the baseline for
+// benchmarks (see internal/bench and PERFORMANCE.md) and as an external
+// check against the blocked kernel; use Gemm everywhere else.
+func GemmReference(transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	checkGemm(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
+	gemmRef(transA, transB, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, m)
+}
+
+// gemmBand dispatches rows [rowLo, rowHi) to the blocked or reference
+// kernel. The choice ignores both the band and M (useBlockedGemm), so
+// every band of one logical Gemm takes the same path — a prerequisite for
+// bit-identical results at any worker count. A nil scratch borrows one
+// from the package pool only when the blocked path is taken.
+func gemmBand(s *GemmScratch, transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int, rowLo, rowHi int) {
+	if !useBlockedGemm(n, k) {
+		gemmRef(transA, transB, n, k, alpha, a, lda, b, ldb, beta, c, ldc, rowLo, rowHi)
+		return
+	}
+	if s == nil {
+		s = GetScratch()
+		defer PutScratch(s)
+	}
+	gemmBlocked(s, transA, transB, n, k, alpha, a, lda, b, ldb, beta, c, ldc, rowLo, rowHi)
+}
+
+// gemmRef is the original i-k-j kernel with a row accumulator: B accesses
+// stay sequential and the axpyTo inner loop unrolls. It remains the
+// fallback for shapes too small to amortize packing, and the reference
+// implementation the blocked kernel is differentially tested against.
+func gemmRef(transA, transB Transpose, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int, rowLo, rowHi int) {
 	for i := rowLo; i < rowHi; i++ {
 		ci := c[i*ldc : i*ldc+n]
 		if beta == 0 {
@@ -108,11 +173,15 @@ func axpyTo(dst, src []float32, alpha float32) {
 	}
 }
 
+// checkGemm validates dimensions, leading strides, and backing-slice
+// lengths; each panic names the operand that failed and the constraint it
+// violated, so a crash in a deep layer stack points at the bad argument
+// instead of a raw slice length.
 func checkGemm(transA, transB Transpose, m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
 	if m < 0 || n < 0 || k < 0 {
 		panic(fmt.Sprintf("blas: negative gemm dims m=%d n=%d k=%d", m, n, k))
 	}
-	// Minimal extents of the stored matrices.
+	// Minimal extents of the stored (pre-op) matrices.
 	arows, acols := m, k
 	if transA == Trans {
 		arows, acols = k, m
@@ -121,32 +190,42 @@ func checkGemm(transA, transB Transpose, m, n, k int, a []float32, lda int, b []
 	if transB == Trans {
 		brows, bcols = n, k
 	}
-	if lda < acols || ldb < bcols || ldc < n {
-		panic(fmt.Sprintf("blas: leading dims too small lda=%d(%d) ldb=%d(%d) ldc=%d(%d)", lda, acols, ldb, bcols, ldc, n))
+	if lda < acols {
+		panic(fmt.Sprintf("blas: gemm A: lda=%d < stored cols %d (stored A is %dx%d, transA=%v)", lda, acols, arows, acols, transA == Trans))
 	}
-	if arows > 0 && len(a) < (arows-1)*lda+acols {
-		panic(fmt.Sprintf("blas: A too short: len=%d need=%d", len(a), (arows-1)*lda+acols))
+	if ldb < bcols {
+		panic(fmt.Sprintf("blas: gemm B: ldb=%d < stored cols %d (stored B is %dx%d, transB=%v)", ldb, bcols, brows, bcols, transB == Trans))
 	}
-	if brows > 0 && len(b) < (brows-1)*ldb+bcols {
-		panic(fmt.Sprintf("blas: B too short: len=%d need=%d", len(b), (brows-1)*ldb+bcols))
+	if ldc < n {
+		panic(fmt.Sprintf("blas: gemm C: ldc=%d < n=%d", ldc, n))
 	}
-	if m > 0 && len(c) < (m-1)*ldc+n {
-		panic(fmt.Sprintf("blas: C too short: len=%d need=%d", len(c), (m-1)*ldc+n))
+	if need := (arows-1)*lda + acols; arows > 0 && len(a) < need {
+		panic(fmt.Sprintf("blas: gemm A too short: len=%d, need >= %d ((rows-1)*lda+cols = %d*%d+%d)", len(a), need, arows-1, lda, acols))
+	}
+	if need := (brows-1)*ldb + bcols; brows > 0 && len(b) < need {
+		panic(fmt.Sprintf("blas: gemm B too short: len=%d, need >= %d ((rows-1)*ldb+cols = %d*%d+%d)", len(b), need, brows-1, ldb, bcols))
+	}
+	if need := (m-1)*ldc + n; m > 0 && len(c) < need {
+		panic(fmt.Sprintf("blas: gemm C too short: len=%d, need >= %d ((m-1)*ldc+n = %d*%d+%d)", len(c), need, m-1, ldc, n))
 	}
 }
 
 // GemmParallel is the fine-grain (BLAS-level) parallel Gemm: the M rows of
-// C are statically partitioned across the pool's workers. This is the
-// parallelism a GPU BLAS exploits, transplanted to goroutines; it is the
-// building block of the plain-GPU analogue engine.
+// C are statically partitioned across the pool's workers into contiguous
+// bands aligned to the blocked kernel's micro-tile height, so each worker
+// runs whole macro-tiles of the blocked kernel (with its own packing
+// scratch) rather than raw rows. This is the parallelism a GPU BLAS
+// exploits, transplanted to goroutines; it is the building block of the
+// plain-GPU analogue engine. Results are bit-identical to serial Gemm for
+// every worker count.
 func GemmParallel(p *par.Pool, transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	checkGemm(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
 	if p == nil || p.Workers() == 1 || m == 1 {
-		GemmRows(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, m)
+		gemmBand(nil, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, m)
 		return
 	}
-	p.For(m, func(lo, hi, _ int) {
-		GemmRows(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, lo, hi)
+	p.ForTiles(m, gemmMR, func(lo, hi, _ int) {
+		gemmBand(nil, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, lo, hi)
 	})
 }
 

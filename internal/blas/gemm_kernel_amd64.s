@@ -1,0 +1,80 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func sgemmKernel4x16(ap, bp *float32, kc int, acc *[64]float32)
+//
+// Rank-kc update of a 4x16 micro-tile from packed panels:
+//   ap: kc groups of 4 contiguous float32 (one column of the A panel)
+//   bp: kc groups of 16 contiguous float32 (one row of the B panel)
+// Accumulators: Y0..Y7 = rows 0..3, two 8-lane halves per row.
+// Per step: 2 B loads + 4 A broadcasts + 8 FMAs = 64 flops.
+TEXT ·sgemmKernel4x16(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), DI
+	MOVQ bp+8(FP), SI
+	MOVQ kc+16(FP), DX
+	MOVQ acc+24(FP), R8
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+loop:
+	VMOVUPS (SI), Y8             // b[0:8]
+	VMOVUPS 32(SI), Y9           // b[8:16]
+
+	VBROADCASTSS (DI), Y10       // a0
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+
+	VBROADCASTSS 4(DI), Y11      // a1
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y9, Y11, Y3
+
+	VBROADCASTSS 8(DI), Y12      // a2
+	VFMADD231PS  Y8, Y12, Y4
+	VFMADD231PS  Y9, Y12, Y5
+
+	VBROADCASTSS 12(DI), Y13     // a3
+	VFMADD231PS  Y8, Y13, Y6
+	VFMADD231PS  Y9, Y13, Y7
+
+	ADDQ $16, DI
+	ADDQ $64, SI
+	DECQ DX
+	JNE  loop
+
+	VMOVUPS Y0, (R8)
+	VMOVUPS Y1, 32(R8)
+	VMOVUPS Y2, 64(R8)
+	VMOVUPS Y3, 96(R8)
+	VMOVUPS Y4, 128(R8)
+	VMOVUPS Y5, 160(R8)
+	VMOVUPS Y6, 192(R8)
+	VMOVUPS Y7, 224(R8)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -33,7 +33,10 @@ func (c *colBuffers) get(n int) []float32 {
 
 func (c *colBuffers) put(buf []float32) { c.pool.Put(buf) } //nolint:staticcheck // slice headers are tiny
 
-// forwardLoweredRange computes samples [lo, hi) via im2col+GEMM.
+// forwardLoweredRange computes samples [lo, hi) via im2col+GEMM. One
+// GemmScratch serves the whole band: the packed-panel buffers of the
+// blocked kernel are reused sample to sample (the GEMM shape is constant
+// across the band), exactly like the column buffer.
 func (l *Convolution) forwardLoweredRange(lo, hi int, bottom, top *blob.Blob) {
 	o := l.cfg.NumOutput
 	ckk := l.channels * l.cfg.KernelH * l.cfg.KernelW
@@ -42,12 +45,14 @@ func (l *Convolution) forwardLoweredRange(lo, hi int, bottom, top *blob.Blob) {
 	w := l.params[0].Data()
 	col := l.cols.get(ckk * ohw)
 	defer l.cols.put(col)
+	gs := blas.GetScratch()
+	defer blas.PutScratch(gs)
 	for s := lo; s < hi; s++ {
 		im := bottom.Data()[s*chw:]
 		blas.Im2col(im, l.channels, l.height, l.width, l.cfg.KernelH, l.cfg.KernelW,
 			l.cfg.PadH, l.cfg.PadW, l.cfg.StrideH, l.cfg.StrideW, col)
 		out := top.Data()[s*o*ohw : (s+1)*o*ohw]
-		blas.Gemm(blas.NoTrans, blas.NoTrans, o, ohw, ckk, 1, w, ckk, col, ohw, 0, out, ohw)
+		blas.GemmWithScratch(gs, blas.NoTrans, blas.NoTrans, o, ohw, ckk, 1, w, ckk, col, ohw, 0, out, ohw)
 		if !l.cfg.NoBias {
 			bias := l.params[1].Data()
 			for oc := 0; oc < o; oc++ {
@@ -76,12 +81,14 @@ func (l *Convolution) backwardLoweredRange(lo, hi int, bottom, top *blob.Blob, p
 	defer l.cols.put(col)
 	dcol := l.cols.get(ckk * ohw)
 	defer l.cols.put(dcol)
+	gs := blas.GetScratch()
+	defer blas.PutScratch(gs)
 	for s := lo; s < hi; s++ {
 		im := bottom.Data()[s*chw:]
 		outDiff := top.Diff()[s*o*ohw : (s+1)*o*ohw]
 		blas.Im2col(im, l.channels, l.height, l.width, l.cfg.KernelH, l.cfg.KernelW,
 			l.cfg.PadH, l.cfg.PadW, l.cfg.StrideH, l.cfg.StrideW, col)
-		blas.Gemm(blas.NoTrans, blas.Trans, o, ckk, ohw, 1, outDiff, ohw, col, ohw, 1, wGrad, ckk)
+		blas.GemmWithScratch(gs, blas.NoTrans, blas.Trans, o, ckk, ohw, 1, outDiff, ohw, col, ohw, 1, wGrad, ckk)
 		if bGrad != nil {
 			for oc := 0; oc < o; oc++ {
 				var sum float32
@@ -94,7 +101,7 @@ func (l *Convolution) backwardLoweredRange(lo, hi int, bottom, top *blob.Blob, p
 		if !l.propagateDown {
 			continue
 		}
-		blas.Gemm(blas.Trans, blas.NoTrans, ckk, ohw, o, 1, w, ckk, outDiff, ohw, 0, dcol, ohw)
+		blas.GemmWithScratch(gs, blas.Trans, blas.NoTrans, ckk, ohw, o, 1, w, ckk, outDiff, ohw, 0, dcol, ohw)
 		inDiff := bottom.Diff()[s*chw : (s+1)*chw]
 		for i := range inDiff {
 			inDiff[i] = 0

@@ -96,19 +96,26 @@ func (l *InnerProduct) Reshape(bottom, top []*blob.Blob) {
 	top[0].Reshape(l.num, l.cfg.NumOutput)
 }
 
-// ForwardExtent implements Layer: one GEMV per sample.
+// ForwardExtent implements Layer: the coalesced loop is over samples.
 func (l *InnerProduct) ForwardExtent() int { return l.num }
 
-// ForwardRange implements Layer.
+// ForwardRange implements Layer: the whole sample band is one GEMM,
+// Top[lo:hi] (B x N) = X[lo:hi] (B x K) * W^T, which runs on the blocked
+// packed kernel instead of a GEMV per sample. The kernel's band-
+// invariance contract (gemm_blocked.go) keeps the coarse engine's
+// forward bit-identical to sequential for every worker count even though
+// worker bands cut the batch at arbitrary rows.
 func (l *InnerProduct) ForwardRange(lo, hi int, bottom, top []*blob.Blob) {
 	n := l.cfg.NumOutput
 	w := l.params[0].Data()
-	for s := lo; s < hi; s++ {
-		x := bottom[0].Data()[s*l.k : (s+1)*l.k]
-		y := top[0].Data()[s*n : (s+1)*n]
-		blas.Gemv(blas.NoTrans, n, l.k, 1, w, l.k, x, 0, y)
-		if !l.cfg.NoBias {
-			blas.Axpy(1, l.params[1].Data(), y)
+	gs := blas.GetScratch()
+	defer blas.PutScratch(gs)
+	blas.GemmWithScratch(gs, blas.NoTrans, blas.Trans, hi-lo, n, l.k, 1,
+		bottom[0].Data()[lo*l.k:hi*l.k], l.k, w, l.k, 0, top[0].Data()[lo*n:hi*n], n)
+	if !l.cfg.NoBias {
+		bias := l.params[1].Data()
+		for s := lo; s < hi; s++ {
+			blas.Axpy(1, bias, top[0].Data()[s*n:(s+1)*n])
 		}
 	}
 }
@@ -116,32 +123,37 @@ func (l *InnerProduct) ForwardRange(lo, hi int, bottom, top []*blob.Blob) {
 // BackwardExtent implements Layer.
 func (l *InnerProduct) BackwardExtent() int { return l.num }
 
-// BackwardRange implements Layer: per sample s, accumulate
-// dW += dy_s ⊗ x_s, db += dy_s, and write dx_s = W^T dy_s.
+// BackwardRange implements Layer, as two band GEMMs plus a bias sum:
+//
+//	dW += dY[lo:hi]^T X[lo:hi]   (N x K, accumulated into paramGrads)
+//	dX[lo:hi] = dY[lo:hi] W      (per-sample rows, disjoint across bands)
+//	db += sum_s dy_s
+//
+// dX rows are computed independently, so bottom diffs stay bit-identical
+// for any worker count. dW sums the band's samples inside one GEMM (K
+// blocking over samples) rather than as per-sample rank-1 updates; with
+// the coarse engine's privatized gradients and ordered merge this remains
+// bit-deterministic at a fixed worker count, and within float-summation
+// tolerance of sequential across worker counts — the same contract the
+// ordered reduction already provides.
 func (l *InnerProduct) BackwardRange(lo, hi int, bottom, top []*blob.Blob, paramGrads []*blob.Blob) {
 	n := l.cfg.NumOutput
 	w := l.params[0].Data()
-	wGrad := paramGrads[0].Diff()
-	var bGrad []float32
+	x := bottom[0].Data()
+	dy := top[0].Diff()
+	gs := blas.GetScratch()
+	defer blas.PutScratch(gs)
+	blas.GemmWithScratch(gs, blas.Trans, blas.NoTrans, n, l.k, hi-lo, 1,
+		dy[lo*n:hi*n], n, x[lo*l.k:hi*l.k], l.k, 1, paramGrads[0].Diff(), l.k)
 	if !l.cfg.NoBias {
-		bGrad = paramGrads[1].Diff()
+		bGrad := paramGrads[1].Diff()
+		for s := lo; s < hi; s++ {
+			blas.Axpy(1, dy[s*n:(s+1)*n], bGrad)
+		}
 	}
-	for s := lo; s < hi; s++ {
-		x := bottom[0].Data()[s*l.k : (s+1)*l.k]
-		dy := top[0].Diff()[s*n : (s+1)*n]
-		// dW += dy ⊗ x (rank-1 update).
-		for o := 0; o < n; o++ {
-			if g := dy[o]; g != 0 {
-				blas.Axpy(g, x, wGrad[o*l.k:(o+1)*l.k])
-			}
-		}
-		if bGrad != nil {
-			blas.Axpy(1, dy, bGrad)
-		}
-		if l.propagateDown {
-			dx := bottom[0].Diff()[s*l.k : (s+1)*l.k]
-			blas.Gemv(blas.Trans, n, l.k, 1, w, l.k, dy, 0, dx)
-		}
+	if l.propagateDown {
+		blas.GemmWithScratch(gs, blas.NoTrans, blas.NoTrans, hi-lo, l.k, n, 1,
+			dy[lo*n:hi*n], n, w, l.k, 0, bottom[0].Diff()[lo*l.k:hi*l.k], l.k)
 	}
 }
 

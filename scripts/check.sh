@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the repository's pre-commit gate: vet, build, the full test
+# suite, and race-detector passes over the parallel substrate (the BLAS
+# band kernels and the worker pool). Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (blas, par) =="
+go test -race -count=1 ./internal/blas ./internal/par
+
+echo "OK"
