@@ -7,6 +7,13 @@
 //
 // Data comes from real MNIST/CIFAR files under -data when present, and
 // from the deterministic synthetic generators otherwise.
+//
+// With -trace out.json the whole run is recorded by the span tracer
+// (internal/trace) and exported as Chrome trace-event JSON — load it in
+// chrome://tracing or https://ui.perfetto.dev to see every layer, phase,
+// schedule band and worker rank on a timeline (see OBSERVABILITY.md):
+//
+//	dnntrain -zoo lenet -engine coarse -workers 8 -iters 50 -trace out.json
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"coarsegrain/internal/prototxt"
 	"coarsegrain/internal/snapshot"
 	"coarsegrain/internal/solver"
+	"coarsegrain/internal/trace"
 	"coarsegrain/internal/zoo"
 )
 
@@ -41,6 +49,7 @@ func main() {
 		datasetF = flag.String("dataset", "", "force dataset: mnist | cifar (default inferred)")
 		snapPath = flag.String("snapshot", "", "write a solver snapshot here when training ends")
 		resume   = flag.String("resume", "", "resume training from a solver snapshot")
+		tracePth = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing / Perfetto) of the run here")
 	)
 	flag.Parse()
 
@@ -124,6 +133,12 @@ func main() {
 		fmt.Printf("resumed from %s at iteration %d\n", *resume, s.Iter())
 	}
 
+	var tr *trace.Tracer
+	if *tracePth != "" {
+		tr = trace.New(eng.Workers())
+		s.SetTracer(tr)
+	}
+
 	fmt.Printf("training %d iterations (%s, base_lr %g)\n", *iters, cfg.Type, cfg.BaseLR)
 	remaining := *iters
 	for remaining > 0 {
@@ -144,6 +159,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("snapshot written to %s (iteration %d)\n", *snapPath, s.Iter())
+	}
+	if tr != nil {
+		if err := tr.WriteChromeTraceFile(*tracePth); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d spans (%d dropped) written to %s — open in chrome://tracing or https://ui.perfetto.dev\n",
+			tr.Len(), tr.Dropped(), *tracePth)
 	}
 }
 

@@ -6,11 +6,18 @@
 //
 // It prints mean per-layer forward/backward times and each layer's share
 // of the iteration, plus the engine's privatization footprint.
+//
+// With -trace out.json the iterations are also recorded by the span
+// tracer: the per-layer table is then derived from the trace's driver
+// spans (same format), a worker-utilization/imbalance report is appended,
+// and the full span set is written as Chrome trace-event JSON (see
+// OBSERVABILITY.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,87 +27,127 @@ import (
 	"coarsegrain/internal/net"
 	"coarsegrain/internal/profile"
 	"coarsegrain/internal/prototxt"
+	"coarsegrain/internal/trace"
 	"coarsegrain/internal/zoo"
 )
 
+// options collects everything main parses from flags, so tests can call
+// run directly with a synthetic configuration.
+type options struct {
+	Model, Zoo string
+	Engine     string
+	Workers    int
+	Iters      int
+	Warmup     int
+	Batch      int
+	Samples    int
+	Seed       uint64
+	DataDir    string
+	TracePath  string
+}
+
 func main() {
-	var (
-		model   = flag.String("model", "", "network prototxt file")
-		zooName = flag.String("zoo", "", "built-in network: lenet | cifar10-full")
-		engine  = flag.String("engine", "sequential", "engine: sequential | coarse | fine | tuned")
-		workers = flag.Int("workers", 4, "worker count for parallel engines")
-		iters   = flag.Int("iters", 5, "timed iterations")
-		warmup  = flag.Int("warmup", 1, "warm-up iterations")
-		batch   = flag.Int("batch", 0, "override batch size")
-		samples = flag.Int("samples", 512, "synthetic dataset size")
-		seed    = flag.Uint64("seed", 1, "seed")
-		dataDir = flag.String("data", "", "directory with real dataset files")
-	)
+	var o options
+	flag.StringVar(&o.Model, "model", "", "network prototxt file")
+	flag.StringVar(&o.Zoo, "zoo", "", "built-in network: lenet | cifar10-full")
+	flag.StringVar(&o.Engine, "engine", "sequential", "engine: sequential | coarse | fine | tuned")
+	flag.IntVar(&o.Workers, "workers", 4, "worker count for parallel engines")
+	flag.IntVar(&o.Iters, "iters", 5, "timed iterations")
+	flag.IntVar(&o.Warmup, "warmup", 1, "warm-up iterations")
+	flag.IntVar(&o.Batch, "batch", 0, "override batch size")
+	flag.IntVar(&o.Samples, "samples", 512, "synthetic dataset size")
+	flag.Uint64Var(&o.Seed, "seed", 1, "seed")
+	flag.StringVar(&o.DataDir, "data", "", "directory with real dataset files")
+	flag.StringVar(&o.TracePath, "trace", "", "also write a Chrome trace-event JSON of the timed iterations here")
 	flag.Parse()
 
-	ref := *zooName + *model
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "layerprof:", err)
+		os.Exit(1)
+	}
+}
+
+// run performs the profile and writes the report to w.
+func run(o options, w io.Writer) error {
+	ref := o.Zoo + o.Model
 	var src layers.Source
 	if strings.Contains(ref, "cifar") {
-		src, _ = data.LoadCIFAR10(*dataDir, *samples, *seed)
+		src, _ = data.LoadCIFAR10(o.DataDir, o.Samples, o.Seed)
 	} else {
-		src, _ = data.LoadMNIST(*dataDir, *samples, *seed)
+		src, _ = data.LoadMNIST(o.DataDir, o.Samples, o.Seed)
 	}
 
 	var specs []net.LayerSpec
 	var err error
 	switch {
-	case *zooName != "":
-		specs, err = zoo.Build(*zooName, src, zoo.Options{BatchSize: *batch, Seed: *seed})
-	case *model != "":
-		raw, rerr := os.ReadFile(*model)
+	case o.Zoo != "":
+		specs, err = zoo.Build(o.Zoo, src, zoo.Options{BatchSize: o.Batch, Seed: o.Seed})
+	case o.Model != "":
+		raw, rerr := os.ReadFile(o.Model)
 		if rerr != nil {
-			fatal(rerr)
+			return rerr
 		}
 		specs, err = prototxt.ParseNet(string(raw), prototxt.BuildOptions{
-			Source: src, Seed: *seed, BatchOverride: *batch,
+			Source: src, Seed: o.Seed, BatchOverride: o.Batch,
 		})
 	default:
-		fatal(fmt.Errorf("need -model or -zoo"))
+		return fmt.Errorf("need -model or -zoo")
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var eng core.Engine
-	switch *engine {
+	switch o.Engine {
 	case "sequential", "seq":
 		eng = core.NewSequential()
 	case "coarse":
-		eng = core.NewCoarse(*workers)
+		eng = core.NewCoarse(o.Workers)
 	case "fine":
-		eng = core.NewFine(*workers)
+		eng = core.NewFine(o.Workers)
 	case "tuned":
-		eng = core.NewTuned(*workers)
+		eng = core.NewTuned(o.Workers)
 	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+		return fmt.Errorf("unknown engine %q", o.Engine)
 	}
 	defer eng.Close()
 
 	n, err := net.New(specs, eng)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	for i := 0; i < *warmup; i++ {
+	for i := 0; i < o.Warmup; i++ {
 		n.ZeroParamDiffs()
 		n.ForwardBackward()
 	}
 	rec := profile.NewRecorder()
 	n.SetRecorder(rec)
-	for i := 0; i < *iters; i++ {
+	var tr *trace.Tracer
+	if o.TracePath != "" {
+		tr = trace.New(eng.Workers())
+		n.SetTracer(tr)
+	}
+	for i := 0; i < o.Iters; i++ {
 		n.ZeroParamDiffs()
 		n.ForwardBackward()
 	}
 
-	fmt.Printf("engine %s, %d workers, %d timed iterations\n\n", eng.Name(), eng.Workers(), *iters)
-	fmt.Print(rec.Table())
-	fmt.Printf("\ndominating layers (80%% of time): %v\n", dominators(rec))
-	fmt.Printf("network memory: %.1f MB, privatization scratch: %.1f KB\n",
+	fmt.Fprintf(w, "engine %s, %d workers, %d timed iterations\n\n", eng.Name(), eng.Workers(), o.Iters)
+	fmt.Fprint(w, rec.Table())
+	fmt.Fprintf(w, "\ndominating layers (80%% of time): %v\n", dominators(rec))
+	fmt.Fprintf(w, "network memory: %.1f MB, privatization scratch: %.1f KB\n",
 		float64(n.MemoryBytes())/(1<<20), float64(eng.ScratchBytes())/1024)
+
+	if tr != nil {
+		spans := tr.Snapshot()
+		fmt.Fprintf(w, "\nworker utilization (from %d spans):\n", len(spans))
+		trace.WriteUtilizationReport(w, spans, eng.Workers())
+		if err := tr.WriteChromeTraceFile(o.TracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s — open in chrome://tracing or https://ui.perfetto.dev\n", o.TracePath)
+	}
+	return nil
 }
 
 func dominators(rec *profile.Recorder) []string {
@@ -116,9 +163,4 @@ func dominators(rec *profile.Recorder) []string {
 		}
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "layerprof:", err)
-	os.Exit(1)
 }

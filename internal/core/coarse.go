@@ -2,10 +2,12 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"coarsegrain/internal/blob"
 	"coarsegrain/internal/layers"
 	"coarsegrain/internal/par"
+	"coarsegrain/internal/trace"
 )
 
 // ReductionMode selects how privatized gradients are merged.
@@ -77,6 +79,7 @@ type Coarse struct {
 	arenas    []arena // one per worker rank
 	reduction ReductionMode
 	schedule  Schedule
+	tracer    *trace.Tracer
 }
 
 // NewCoarse creates a coarse-grain engine with the given worker count.
@@ -103,6 +106,16 @@ func NewCoarseWithSchedule(workers int, sched Schedule) *Coarse {
 
 // Name implements Engine.
 func (e *Coarse) Name() string { return "coarse" }
+
+// SetTracer attaches a span tracer to the engine and its worker pool:
+// every worksharing band becomes a per-worker span, and the gradient
+// merge of Algorithm 5 gets its own reduce span (the serial section the
+// paper's overhead analysis singles out). Attach before training; nil
+// detaches.
+func (e *Coarse) SetTracer(t *trace.Tracer) {
+	e.tracer = t
+	e.pool.SetTracer(t)
+}
 
 // Schedule returns the configured loop scheduling policy.
 func (e *Coarse) Schedule() Schedule { return e.schedule }
@@ -186,6 +199,10 @@ func (e *Coarse) Backward(l layers.Layer, bottom, top []*blob.Blob) {
 	})
 
 	// Gradient merge (Algorithm 5 lines 22-23).
+	var mergeStart time.Time
+	if e.tracer.Enabled() {
+		mergeStart = time.Now()
+	}
 	switch e.reduction {
 	case OrderedReduction:
 		e.pool.Ordered(func(rank int) {
@@ -202,6 +219,16 @@ func (e *Coarse) Backward(l layers.Layer, bottom, top []*blob.Blob) {
 		for i, p := range params {
 			p.AccumulateDiffFrom(privs[0][i])
 		}
+	}
+	if tr := e.tracer; tr.Enabled() {
+		var elems int
+		for _, p := range params {
+			elems += p.Count()
+		}
+		tr.Record(trace.Span{
+			Name: l.Name(), Phase: trace.PhaseReduce, Rank: trace.RankDriver, Band: -1,
+			Lo: 0, Hi: elems, Start: tr.Stamp(mergeStart), Dur: time.Since(mergeStart),
+		})
 	}
 
 	for rank, pg := range privs {

@@ -18,6 +18,16 @@
 //
 // Engines are deliberately unaware of networks and solvers; package net
 // composes them.
+//
+// # Observability
+//
+// Engines that run parallel work accept a span tracer via an optional
+// SetTracer(*trace.Tracer) method (package net propagates it): Coarse
+// traces its worker regions and gradient reductions, Fine and Tuned
+// forward the tracer to their pool so BLAS-level tile bands appear as
+// worker spans. Sequential runs on the driver alone, so only the
+// driver-side layer spans recorded by package net exist for it. A nil
+// tracer costs nothing; see OBSERVABILITY.md.
 package core
 
 import (

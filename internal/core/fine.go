@@ -4,6 +4,7 @@ import (
 	"coarsegrain/internal/blob"
 	"coarsegrain/internal/layers"
 	"coarsegrain/internal/par"
+	"coarsegrain/internal/trace"
 )
 
 // Fine is the fine-grain engine, the analogue of the paper's "plain-GPU"
@@ -37,6 +38,11 @@ func (e *Fine) Name() string {
 
 // Workers implements Engine.
 func (e *Fine) Workers() int { return e.pool.Workers() }
+
+// SetTracer attaches a span tracer to the worker pool, so the fine
+// kernels' BLAS-level bands (e.g. GemmParallel tile runs) appear as
+// per-worker spans. Attach before training; nil detaches.
+func (e *Fine) SetTracer(t *trace.Tracer) { e.pool.SetTracer(t) }
 
 // Forward implements Engine.
 func (e *Fine) Forward(l layers.Layer, bottom, top []*blob.Blob) {

@@ -477,3 +477,32 @@ func (l *Convolution) BackwardTuned(p *par.Pool, bottom, top []*blob.Blob) {
 			l.cfg.PadH, l.cfg.PadW, l.cfg.StrideH, l.cfg.StrideW, inDiff)
 	}
 }
+
+// ForwardFLOPs implements Coster: the direct convolution's multiply-add
+// count over the whole batch (2 FLOPs per MAC, plus the bias adds).
+func (l *Convolution) ForwardFLOPs() int64 {
+	macs := int64(l.num) * int64(l.cfg.NumOutput) * int64(l.outH) * int64(l.outW) *
+		int64(l.channels) * int64(l.cfg.KernelH) * int64(l.cfg.KernelW)
+	flops := 2 * macs
+	if !l.cfg.NoBias {
+		flops += int64(l.num) * int64(l.cfg.NumOutput) * int64(l.outH) * int64(l.outW)
+	}
+	return flops
+}
+
+// BackwardFLOPs implements Coster: the weight-gradient pass always runs;
+// the bottom-diff pass runs only when gradients propagate down (the
+// first convolution after the data layer skips it, as Caffe does).
+func (l *Convolution) BackwardFLOPs() int64 {
+	macs := int64(l.num) * int64(l.cfg.NumOutput) * int64(l.outH) * int64(l.outW) *
+		int64(l.channels) * int64(l.cfg.KernelH) * int64(l.cfg.KernelW)
+	passes := int64(1)
+	if l.propagateDown {
+		passes = 2
+	}
+	flops := 2 * macs * passes
+	if !l.cfg.NoBias {
+		flops += int64(l.num) * int64(l.cfg.NumOutput) * int64(l.outH) * int64(l.outW)
+	}
+	return flops
+}

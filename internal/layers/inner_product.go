@@ -194,3 +194,27 @@ func (l *InnerProduct) BackwardFine(p *par.Pool, bottom, top []*blob.Blob) {
 			top[0].Diff(), n, l.params[0].Data(), l.k, 0, bottom[0].Diff(), l.k)
 	}
 }
+
+// ForwardFLOPs implements Coster: one S x K x N GEMM (2 FLOPs per MAC)
+// plus the bias adds.
+func (l *InnerProduct) ForwardFLOPs() int64 {
+	flops := 2 * int64(l.num) * int64(l.k) * int64(l.cfg.NumOutput)
+	if !l.cfg.NoBias {
+		flops += int64(l.num) * int64(l.cfg.NumOutput)
+	}
+	return flops
+}
+
+// BackwardFLOPs implements Coster: the dW GEMM always runs; the dX GEMM
+// only when gradients propagate down; the bias gradient is a column sum.
+func (l *InnerProduct) BackwardFLOPs() int64 {
+	gemm := 2 * int64(l.num) * int64(l.k) * int64(l.cfg.NumOutput)
+	flops := gemm
+	if l.propagateDown {
+		flops += gemm
+	}
+	if !l.cfg.NoBias {
+		flops += int64(l.num) * int64(l.cfg.NumOutput)
+	}
+	return flops
+}

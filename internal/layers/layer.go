@@ -142,6 +142,19 @@ type TunedBackwarder interface {
 	BackwardTuned(p *par.Pool, bottom, top []*blob.Blob)
 }
 
+// Coster is implemented by layers that can state the arithmetic cost of
+// one full pass over the current shapes. The tracer attaches these
+// counters to the per-layer spans, which turns a trace into achieved-
+// GFLOP/s numbers without any external roofline bookkeeping. Costs are
+// nominal multiply-add counts (2 FLOPs per MAC), not instruction counts.
+type Coster interface {
+	// ForwardFLOPs is the cost of Forward over the whole extent.
+	ForwardFLOPs() int64
+	// BackwardFLOPs is the cost of Backward over the whole extent, for
+	// the current propagate-down setting.
+	BackwardFLOPs() int64
+}
+
 // LossWeighter is implemented by loss layers; the net multiplies the
 // layer's top scalar by this weight when accumulating the iteration loss.
 type LossWeighter interface {

@@ -18,6 +18,7 @@ import (
 	"coarsegrain/internal/core"
 	"coarsegrain/internal/layers"
 	"coarsegrain/internal/profile"
+	"coarsegrain/internal/trace"
 )
 
 // LayerSpec declares one layer and its blob wiring.
@@ -45,6 +46,7 @@ type Net struct {
 
 	engine   core.Engine
 	recorder *profile.Recorder
+	tracer   *trace.Tracer
 }
 
 // New builds a network from specs, running each layer's SetUp in order.
@@ -157,14 +159,42 @@ func New(specs []LayerSpec, engine core.Engine) (*Net, error) {
 }
 
 // SetEngine swaps the execution engine (e.g. to compare sequential,
-// coarse and fine runs on the same trained state).
-func (n *Net) SetEngine(e core.Engine) { n.engine = e }
+// coarse and fine runs on the same trained state). An attached tracer is
+// propagated to the new engine.
+func (n *Net) SetEngine(e core.Engine) {
+	n.engine = e
+	if n.tracer != nil {
+		propagateTracer(e, n.tracer)
+	}
+}
 
 // Engine returns the current execution engine.
 func (n *Net) Engine() core.Engine { return n.engine }
 
 // SetRecorder attaches a per-layer timing recorder (nil detaches).
 func (n *Net) SetRecorder(r *profile.Recorder) { n.recorder = r }
+
+// SetTracer attaches a span tracer (nil detaches): every layer×phase
+// engine call becomes a driver span carrying the layer's FLOP/byte
+// counters, and the tracer is propagated to the engine (and through it
+// to the worker pool) so parallel engines add per-worker band spans.
+// Attach before training, never while a pass is in flight.
+func (n *Net) SetTracer(t *trace.Tracer) {
+	n.tracer = t
+	propagateTracer(n.engine, t)
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (n *Net) Tracer() *trace.Tracer { return n.tracer }
+
+// propagateTracer hands the tracer to engines that support one (the
+// sequential engine has no worker team and needs none — its layer time
+// is fully covered by the driver spans).
+func propagateTracer(e core.Engine, t *trace.Tracer) {
+	if ts, ok := e.(interface{ SetTracer(*trace.Tracer) }); ok {
+		ts.SetTracer(t)
+	}
+}
 
 // Layers returns the layers in topological order.
 func (n *Net) Layers() []layers.Layer {
@@ -186,15 +216,60 @@ func (n *Net) ParamNames() []string { return n.paramNames }
 
 // Forward runs the full forward pass (Algorithm 1 lines 3-7, the
 // inherently sequential layer loop) and returns the weighted loss.
+// When neither a recorder nor a tracer is attached, the loop takes no
+// clock readings at all.
 func (n *Net) Forward() float64 {
+	timed := n.recorder != nil || n.tracer != nil
 	for i, spec := range n.specs {
-		start := time.Now()
+		var start time.Time
+		if timed {
+			start = time.Now()
+			n.tracer.SetScope(spec.Layer.Name(), trace.PhaseForward)
+		}
 		n.engine.Forward(spec.Layer, n.bottoms[i], n.tops[i])
-		if n.recorder != nil {
-			n.recorder.Add(spec.Layer.Name(), profile.Forward, time.Since(start))
+		if timed {
+			d := time.Since(start)
+			if n.recorder != nil {
+				n.recorder.Add(spec.Layer.Name(), profile.Forward, d)
+			}
+			n.recordLayerSpan(i, trace.PhaseForward, start, d)
 		}
 	}
 	return n.Loss()
+}
+
+// recordLayerSpan emits the driver span for one engine call, including
+// the layer's pass cost (when it reports one) and the blob bytes the
+// pass touches.
+func (n *Net) recordLayerSpan(i int, phase trace.Phase, start time.Time, d time.Duration) {
+	tr := n.tracer
+	if !tr.Enabled() {
+		return
+	}
+	spec := n.specs[i]
+	s := trace.Span{
+		Name: spec.Layer.Name(), Phase: phase, Rank: trace.RankDriver, Band: -1,
+		Start: tr.Stamp(start), Dur: d,
+	}
+	if phase == trace.PhaseForward {
+		s.Hi = spec.Layer.ForwardExtent()
+	} else {
+		s.Hi = spec.Layer.BackwardExtent()
+	}
+	if c, ok := spec.Layer.(layers.Coster); ok {
+		if phase == trace.PhaseForward {
+			s.FLOPs = c.ForwardFLOPs()
+		} else {
+			s.FLOPs = c.BackwardFLOPs()
+		}
+	}
+	for _, b := range n.bottoms[i] {
+		s.Bytes += b.MemoryBytes()
+	}
+	for _, b := range n.tops[i] {
+		s.Bytes += b.MemoryBytes()
+	}
+	tr.Record(s)
 }
 
 // Loss returns the current weighted sum of loss-layer outputs.
@@ -215,14 +290,23 @@ func (n *Net) Backward() {
 		w := n.specs[i].Layer.(layers.LossWeighter).LossWeight()
 		n.tops[i][0].Diff()[0] = w
 	}
+	timed := n.recorder != nil || n.tracer != nil
 	for i := len(n.specs) - 1; i >= 0; i-- {
 		if !n.needsBackward[i] {
 			continue
 		}
-		start := time.Now()
+		var start time.Time
+		if timed {
+			start = time.Now()
+			n.tracer.SetScope(n.specs[i].Layer.Name(), trace.PhaseBackward)
+		}
 		n.engine.Backward(n.specs[i].Layer, n.bottoms[i], n.tops[i])
-		if n.recorder != nil {
-			n.recorder.Add(n.specs[i].Layer.Name(), profile.Backward, time.Since(start))
+		if timed {
+			d := time.Since(start)
+			if n.recorder != nil {
+				n.recorder.Add(n.specs[i].Layer.Name(), profile.Backward, d)
+			}
+			n.recordLayerSpan(i, trace.PhaseBackward, start, d)
 		}
 	}
 }

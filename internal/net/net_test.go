@@ -14,7 +14,7 @@ import (
 
 // tinyNet builds a small conv net on synthetic MNIST-like data:
 // data -> conv(4,5x5) -> pool(2/2) -> ip(10) -> loss.
-func tinyNet(t *testing.T, batch int, seed uint64, eng core.Engine) *Net {
+func tinyNet(t testing.TB, batch int, seed uint64, eng core.Engine) *Net {
 	t.Helper()
 	src := data.NewSyntheticMNIST(256, seed)
 	d, err := layers.NewData("data", src, batch)

@@ -24,6 +24,11 @@ func (p *Pool) ForDynamic(n, chunk int, body func(lo, hi, rank int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
+	if p.tracer.Enabled() {
+		// Dynamic bands are the claimed chunks, so the band index is the
+		// chunk ordinal — the trace shows which rank won each chunk.
+		body = p.traced(body, func(lo, _ int) int { return lo / chunk })
+	}
 	if p.workers == 1 {
 		body(0, n, 0)
 		return

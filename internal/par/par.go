@@ -22,6 +22,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"coarsegrain/internal/trace"
 )
 
 // Pool is a team of worker goroutines with stable ranks 0..P-1.
@@ -39,6 +42,12 @@ type Pool struct {
 	firstPanic any
 
 	closed bool
+
+	// tracer, when non-nil, records one span per worker per worksharing
+	// region, labeled with the tracer's current scope (the layer and
+	// phase the driver set before entering the region). Nil costs one
+	// branch per region.
+	tracer *trace.Tracer
 }
 
 type task func(rank int)
@@ -64,6 +73,35 @@ func NewDefaultPool() *Pool { return NewPool(runtime.GOMAXPROCS(0)) }
 
 // Workers returns the team size P.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetTracer attaches (or, with nil, detaches) a span tracer. Worker
+// spans carry the tracer's current scope, the executing rank, the band
+// index and the iteration sub-range. Must be called while no region is
+// in flight; create the tracer with at least Workers() ranks or worker
+// spans beyond its team size are dropped.
+func (p *Pool) SetTracer(t *trace.Tracer) { p.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (p *Pool) Tracer() *trace.Tracer { return p.tracer }
+
+// traced wraps a loop body so each invocation records one worker span.
+// band maps an invocation to its schedule-band index (the rank under
+// static scheduling, the chunk index under dynamic).
+func (p *Pool) traced(body func(lo, hi, rank int), band func(lo, rank int) int) func(lo, hi, rank int) {
+	tr := p.tracer
+	name, phase := tr.Scope()
+	return func(lo, hi, rank int) {
+		start := time.Now()
+		body(lo, hi, rank)
+		tr.Record(trace.Span{
+			Name: name, Phase: phase, Rank: rank, Band: band(lo, rank),
+			Lo: lo, Hi: hi, Start: tr.Stamp(start), Dur: time.Since(start),
+		})
+	}
+}
+
+// staticBand is the band index of a static-schedule invocation: the rank.
+func staticBand(_, rank int) int { return rank }
 
 // Close shuts the team down. The pool must not be used afterwards.
 // Closing an already-closed pool is a no-op.
@@ -156,6 +194,9 @@ func (p *Pool) For(n int, body func(lo, hi, rank int)) {
 	if n <= 0 {
 		return
 	}
+	if p.tracer.Enabled() {
+		body = p.traced(body, staticBand)
+	}
 	if p.workers == 1 {
 		body(0, n, 0)
 		return
@@ -175,6 +216,17 @@ func (p *Pool) For(n int, body func(lo, hi, rank int)) {
 // hi is min(hi_tile*tile, n). Blocked kernels use this so worker
 // boundaries never split a tile (e.g. GemmParallel hands each worker
 // whole micro-tile rows of C).
+//
+// Edge cases, part of the contract:
+//
+//   - tile <= 0 is treated as tile 1, i.e. ForTiles degenerates to For's
+//     element-wise static schedule;
+//   - n <= 0 runs nothing (as with For);
+//   - n <= tile leaves a single (possibly partial) tile, which static
+//     chunking assigns entirely to rank 0: body runs exactly once, as
+//     body(0, n, 0) on the calling goroutine — the fork/join of an
+//     all-but-one-idle region is skipped. Callers must not assume every
+//     rank's body runs.
 func (p *Pool) ForTiles(n, tile int, body func(lo, hi, rank int)) {
 	if n <= 0 {
 		return
@@ -183,7 +235,10 @@ func (p *Pool) ForTiles(n, tile int, body func(lo, hi, rank int)) {
 		tile = 1
 	}
 	tiles := (n + tile - 1) / tile
-	if p.workers == 1 {
+	if p.tracer.Enabled() {
+		body = p.traced(body, staticBand)
+	}
+	if p.workers == 1 || tiles == 1 {
 		body(0, n, 0)
 		return
 	}
@@ -205,6 +260,18 @@ func (p *Pool) ForTiles(n, tile int, body func(lo, hi, rank int)) {
 // worksharing loop. Useful when the caller wants full control over private
 // allocation and work splitting.
 func (p *Pool) Region(body func(rank int)) {
+	if tr := p.tracer; tr.Enabled() {
+		name, phase := tr.Scope()
+		inner := body
+		body = func(rank int) {
+			start := time.Now()
+			inner(rank)
+			tr.Record(trace.Span{
+				Name: name, Phase: phase, Rank: rank, Band: rank,
+				Start: tr.Stamp(start), Dur: time.Since(start),
+			})
+		}
+	}
 	p.region(body)
 }
 

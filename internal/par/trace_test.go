@@ -1,0 +1,152 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"coarsegrain/internal/trace"
+)
+
+// TestForTilesSingleTileContract pins the documented n <= tile behavior:
+// the single (possibly partial) tile runs exactly once, as body(0, n, 0),
+// on the calling goroutine.
+func TestForTilesSingleTileContract(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var calls int32
+	var gotLo, gotHi, gotRank int
+	p.ForTiles(3, 8, func(lo, hi, rank int) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			gotLo, gotHi, gotRank = lo, hi, rank
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("body ran %d times, want 1", calls)
+	}
+	if gotLo != 0 || gotHi != 3 || gotRank != 0 {
+		t.Fatalf("body(%d, %d, %d), want body(0, 3, 0)", gotLo, gotHi, gotRank)
+	}
+}
+
+// TestForTilesNegativeTile pins tile <= 0 (including negative) as
+// tile 1 — ForTiles degenerates to For's element-wise static schedule.
+func TestForTilesNegativeTile(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	seen := make([]int32, 9)
+	p.ForTiles(9, -5, func(lo, hi, rank int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("iteration %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestForRecordsWorkerSpans(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	tr := trace.New(3)
+	p.SetTracer(tr)
+	if p.Tracer() != tr {
+		t.Fatal("Tracer() does not return the attached tracer")
+	}
+	tr.SetScope("conv1", trace.PhaseForward)
+	p.For(9, func(lo, hi, rank int) {})
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	var covered int
+	for _, s := range spans {
+		if s.Name != "conv1" || s.Phase != trace.PhaseForward {
+			t.Fatalf("span has wrong scope: %+v", s)
+		}
+		if s.Band != s.Rank {
+			t.Fatalf("static band %d != rank %d", s.Band, s.Rank)
+		}
+		covered += s.Hi - s.Lo
+	}
+	if covered != 9 {
+		t.Fatalf("spans cover %d iterations, want 9", covered)
+	}
+}
+
+func TestForDynamicRecordsChunkBands(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	tr := trace.New(2)
+	p.SetTracer(tr)
+	tr.SetScope("ip1", trace.PhaseBackward)
+	p.ForDynamic(10, 2, func(lo, hi, rank int) {})
+	bands := map[int]bool{}
+	for _, s := range tr.Snapshot() {
+		if s.Band != s.Lo/2 {
+			t.Fatalf("dynamic band %d for lo %d", s.Band, s.Lo)
+		}
+		bands[s.Band] = true
+	}
+	if len(bands) != 5 {
+		t.Fatalf("saw %d distinct bands, want 5", len(bands))
+	}
+}
+
+func TestRegionRecordsPerRankSpans(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	tr := trace.New(4)
+	p.SetTracer(tr)
+	tr.SetScope("conv1", trace.PhaseBackward)
+	p.Region(func(rank int) {})
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	ranks := map[int]bool{}
+	for _, s := range spans {
+		ranks[s.Rank] = true
+	}
+	for r := 0; r < 4; r++ {
+		if !ranks[r] {
+			t.Fatalf("rank %d missing from region spans", r)
+		}
+	}
+}
+
+// TestTracerDetach checks SetTracer(nil) restores the untraced path.
+func TestTracerDetach(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	tr := trace.New(2)
+	p.SetTracer(tr)
+	p.For(4, func(lo, hi, rank int) {})
+	p.SetTracer(nil)
+	p.For(4, func(lo, hi, rank int) {})
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("detached pool still recorded: %d spans", got)
+	}
+}
+
+// BenchmarkForNoTracer / BenchmarkForTraced bound the per-region tracing
+// cost on an empty body (the worst case: all overhead, no work).
+func BenchmarkForNoTracer(b *testing.B) {
+	p := NewPool(2)
+	defer p.Close()
+	for i := 0; i < b.N; i++ {
+		p.For(64, func(lo, hi, rank int) {})
+	}
+}
+
+func BenchmarkForTraced(b *testing.B) {
+	p := NewPool(2)
+	defer p.Close()
+	tr := trace.NewWithCapacity(2, 1<<10)
+	p.SetTracer(tr)
+	tr.SetScope("bench", trace.PhaseForward)
+	for i := 0; i < b.N; i++ {
+		p.For(64, func(lo, hi, rank int) {})
+	}
+}

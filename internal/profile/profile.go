@@ -3,6 +3,11 @@
 // per-layer forward/backward execution times under different thread
 // counts. A Recorder accumulates wall-clock durations per (layer, phase)
 // and reports means over the recorded iterations.
+//
+// The span-based tracer (package trace) subsumes this aggregate view —
+// trace.LayerRecorder folds a span snapshot back into a Recorder, so the
+// table format rendered here remains the one canonical per-layer report
+// (see OBSERVABILITY.md for when to reach for which instrument).
 package profile
 
 import (
@@ -54,12 +59,13 @@ func (s Stat) Mean() time.Duration {
 // concurrent use; the net records on the training goroutine only.
 type Recorder struct {
 	stats map[key]*Stat
-	order []string // layer names in first-seen order
+	order []string            // layer names in first-seen order
+	seen  map[string]struct{} // membership index over order
 }
 
 // NewRecorder creates an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{stats: make(map[key]*Stat)}
+	return &Recorder{stats: make(map[key]*Stat), seen: make(map[string]struct{})}
 }
 
 // Add records one duration.
@@ -69,7 +75,8 @@ func (r *Recorder) Add(layer string, phase Phase, d time.Duration) {
 	if !ok {
 		s = &Stat{Min: d, Max: d}
 		r.stats[k] = s
-		if !r.seen(layer) {
+		if _, dup := r.seen[layer]; !dup {
+			r.seen[layer] = struct{}{}
 			r.order = append(r.order, layer)
 		}
 	}
@@ -83,19 +90,11 @@ func (r *Recorder) Add(layer string, phase Phase, d time.Duration) {
 	}
 }
 
-func (r *Recorder) seen(layer string) bool {
-	for _, l := range r.order {
-		if l == layer {
-			return true
-		}
-	}
-	return false
-}
-
 // Reset discards all recorded data.
 func (r *Recorder) Reset() {
 	r.stats = make(map[key]*Stat)
 	r.order = r.order[:0]
+	r.seen = make(map[string]struct{})
 }
 
 // Layers returns layer names in first-seen (network) order.

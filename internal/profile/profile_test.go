@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -66,6 +67,32 @@ func TestReset(t *testing.T) {
 	r.Reset()
 	if len(r.Layers()) != 0 || r.TotalMean() != 0 {
 		t.Fatal("reset incomplete")
+	}
+	// Re-adding after a reset re-establishes first-seen order from
+	// scratch (the membership index must be cleared too).
+	r.Add("z", Forward, time.Microsecond)
+	r.Add("a", Forward, time.Microsecond)
+	if got := r.Layers(); len(got) != 2 || got[0] != "z" || got[1] != "a" {
+		t.Fatalf("order after reset %v", got)
+	}
+}
+
+// TestManyLayersFirstSeenOrder covers the membership-map path that
+// replaced the linear first-seen scan: order stays stable and duplicate
+// names are never re-appended, regardless of layer count.
+func TestManyLayersFirstSeenOrder(t *testing.T) {
+	r := NewRecorder()
+	const n = 500
+	for i := 0; i < n; i++ {
+		name := "layer" + string(rune('a'+i%26)) + fmt.Sprint(i)
+		r.Add(name, Forward, time.Microsecond)
+		r.Add(name, Backward, time.Microsecond) // same layer, other phase
+	}
+	if got := len(r.Layers()); got != n {
+		t.Fatalf("got %d layers, want %d", got, n)
+	}
+	if r.Layers()[0] != "layera0" || r.Layers()[n-1] != "layer"+string(rune('a'+(n-1)%26))+fmt.Sprint(n-1) {
+		t.Fatalf("order endpoints wrong: %v ... %v", r.Layers()[0], r.Layers()[n-1])
 	}
 }
 

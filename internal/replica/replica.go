@@ -16,6 +16,17 @@
 // training parameter changes: the trainer's loss trace matches a
 // single-device run over the same global batches, which is the
 // convergence-invariance property extended across devices.
+//
+// # Observability
+//
+// Each replica's network accepts its own instruments — attach a
+// profile.Recorder or a trace.Tracer to an individual replica's net to
+// measure within-device behavior (each replica has a private engine and
+// worker team, so tracers must not be shared across replicas; the
+// tracer's shards are keyed by one pool's ranks). Cross-device timing —
+// the synchronous merge barrier — is visible as the gap between a
+// replica's last backward span and the next iteration's first forward
+// span. See OBSERVABILITY.md.
 package replica
 
 import (

@@ -20,6 +20,13 @@
 // data-thread distributions, the sequential data layer, and the NUMA
 // penalty beyond one socket. Constants are calibrated once (DefaultMachine)
 // against the paper's headline numbers (~6x @ 8 threads, ~8x @ 16).
+//
+// The model's inputs and its predictions can both be checked against the
+// span tracer (package trace, OBSERVABILITY.md): the measured
+// single-thread layer times are the driver spans of a sequential-engine
+// run, and on a multicore host the model's imbalance and reduction terms
+// correspond to the utilization report's imbal column and the red spans
+// of a coarse-engine trace.
 package simtime
 
 import "math"

@@ -11,9 +11,11 @@ package solver
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"coarsegrain/internal/blob"
 	"coarsegrain/internal/net"
+	"coarsegrain/internal/trace"
 )
 
 // Type selects the update rule.
@@ -94,6 +96,9 @@ type Solver struct {
 	history []*blob.Blob
 	// history2 holds Adam's second-moment buffers (nil otherwise).
 	history2 []*blob.Blob
+	// tracer, when attached, wraps every Step iteration in an iteration
+	// span and the update rule in an update span.
+	tracer *trace.Tracer
 }
 
 // New creates a solver for the given network.
@@ -116,6 +121,15 @@ func New(cfg Config, n *net.Net) (*Solver, error) {
 
 // Net returns the network being trained.
 func (s *Solver) Net() *net.Net { return s.network }
+
+// SetTracer attaches a span tracer to the whole training stack: the
+// solver records iteration and update spans, and the tracer is handed
+// down to the net (and through it to the engine and its worker pool).
+// One call instruments everything; nil detaches everywhere.
+func (s *Solver) SetTracer(t *trace.Tracer) {
+	s.tracer = t
+	s.network.SetTracer(t)
+}
 
 // Iter returns the number of completed iterations.
 func (s *Solver) Iter() int { return s.iter }
@@ -154,10 +168,31 @@ func (s *Solver) LearningRate() float32 {
 // the deterministic ordered reduction).
 func (s *Solver) Step(iters int) []float64 {
 	losses := make([]float64, 0, iters)
+	tr := s.tracer
 	for i := 0; i < iters; i++ {
+		var iterStart time.Time
+		if tr.Enabled() {
+			iterStart = time.Now()
+		}
 		s.network.ZeroParamDiffs()
 		loss := s.network.ForwardBackward()
+		var updStart time.Time
+		if tr.Enabled() {
+			updStart = time.Now()
+		}
 		s.applyUpdate()
+		if tr.Enabled() {
+			now := time.Now()
+			tr.Record(trace.Span{
+				Name: "update", Phase: trace.PhaseUpdate, Rank: trace.RankDriver, Band: -1,
+				Start: tr.Stamp(updStart), Dur: now.Sub(updStart),
+			})
+			tr.Record(trace.Span{
+				Name: "iteration", Phase: trace.PhaseIteration, Rank: trace.RankDriver, Band: -1,
+				Lo: s.iter, Hi: s.iter + 1,
+				Start: tr.Stamp(iterStart), Dur: now.Sub(iterStart),
+			})
+		}
 		s.iter++
 		losses = append(losses, loss)
 	}

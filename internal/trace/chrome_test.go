@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSample records a tiny but representative trace: two iterations of
+// a two-layer net on a 2-worker team, with reduce and update sections.
+func buildSample() *Tracer {
+	tr := New(2)
+	at := func(us int) time.Duration { return time.Duration(us) * time.Microsecond }
+	for it := 0; it < 2; it++ {
+		base := it * 100
+		for li, layer := range []string{"conv1", "ip1"} {
+			s := base + li*20
+			tr.Record(Span{Name: layer, Phase: PhaseForward, Rank: RankDriver, Band: -1,
+				Lo: 0, Hi: 8, Start: at(s), Dur: at(10), FLOPs: 1000, Bytes: 4096})
+			tr.Record(Span{Name: layer, Phase: PhaseForward, Rank: 0, Band: 0,
+				Lo: 0, Hi: 4, Start: at(s + 1), Dur: at(8)})
+			tr.Record(Span{Name: layer, Phase: PhaseForward, Rank: 1, Band: 1,
+				Lo: 4, Hi: 8, Start: at(s + 1), Dur: at(6)})
+		}
+		for li, layer := range []string{"ip1", "conv1"} {
+			s := base + 40 + li*20
+			tr.Record(Span{Name: layer, Phase: PhaseBackward, Rank: RankDriver, Band: -1,
+				Lo: 0, Hi: 8, Start: at(s), Dur: at(12)})
+			tr.Record(Span{Name: layer, Phase: PhaseBackward, Rank: 0, Band: 0,
+				Lo: 0, Hi: 4, Start: at(s + 1), Dur: at(9)})
+			tr.Record(Span{Name: layer, Phase: PhaseBackward, Rank: 1, Band: 1,
+				Lo: 4, Hi: 8, Start: at(s + 1), Dur: at(10)})
+			tr.Record(Span{Name: layer, Phase: PhaseReduce, Rank: RankDriver, Band: -1,
+				Start: at(s + 13), Dur: at(2)})
+		}
+		tr.Record(Span{Name: "update", Phase: PhaseUpdate, Rank: RankDriver, Band: -1,
+			Start: at(base + 85), Dur: at(5)})
+		tr.Record(Span{Name: "iteration", Phase: PhaseIteration, Rank: RankDriver, Band: -1,
+			Lo: it, Hi: it + 1, Start: at(base), Dur: at(95)})
+	}
+	return tr
+}
+
+func TestChromeExportRoundTrip(t *testing.T) {
+	tr := buildSample()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exported trace does not validate: %v", err)
+	}
+	if stats.Complete != tr.Len() {
+		t.Fatalf("Complete = %d, want %d", stats.Complete, tr.Len())
+	}
+	// Driver + 2 workers.
+	if stats.Threads != 3 {
+		t.Fatalf("Threads = %d, want 3", stats.Threads)
+	}
+	if stats.Meta < 3 {
+		t.Fatalf("Meta = %d, want >= 3 (process + thread names)", stats.Meta)
+	}
+	if stats.WallUS <= 0 {
+		t.Fatalf("WallUS = %g", stats.WallUS)
+	}
+}
+
+func TestChromeExportEventShape(t *testing.T) {
+	tr := New(1)
+	tr.Record(Span{Name: "conv1", Phase: PhaseForward, Rank: 0, Band: 0,
+		Lo: 0, Hi: 16, Start: 1500 * time.Nanosecond, Dur: 2500 * time.Nanosecond,
+		FLOPs: 42, Bytes: 128})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var span map[string]any
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			span = ev
+		}
+	}
+	if span == nil {
+		t.Fatal("no X event")
+	}
+	if span["name"] != "conv1 fwd" {
+		t.Fatalf("name = %v", span["name"])
+	}
+	// ts/dur are microseconds.
+	if span["ts"].(float64) != 1.5 || span["dur"].(float64) != 2.5 {
+		t.Fatalf("ts/dur = %v/%v, want 1.5/2.5", span["ts"], span["dur"])
+	}
+	// Worker rank 0 renders on tid 1 (tid 0 is the driver).
+	if span["tid"].(float64) != 1 {
+		t.Fatalf("tid = %v, want 1", span["tid"])
+	}
+	args := span["args"].(map[string]any)
+	for _, k := range []string{"band", "lo", "hi", "flops", "bytes", "phase"} {
+		if _, ok := args[k]; !ok {
+			t.Fatalf("args missing %q: %v", k, args)
+		}
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "}{",
+		"empty events": `{"traceEvents":[]}`,
+		"nameless":     `{"traceEvents":[{"ph":"X","ts":1,"pid":1,"tid":0}]}`,
+		"bad phase":    `{"traceEvents":[{"name":"a","ph":"Q","ts":1,"pid":1,"tid":0}]}`,
+		"negative ts":  `{"traceEvents":[{"name":"a","ph":"X","ts":-4,"pid":1,"tid":0}]}`,
+		"meta only":    `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0}]}`,
+		"wrong pid":    `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":7,"tid":0}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := ValidateChromeTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: validated", label)
+		}
+	}
+}
+
+func TestChromeTraceFile(t *testing.T) {
+	tr := buildSample()
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteChromeTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidateChromeTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Complete == 0 {
+		t.Fatal("no spans in file")
+	}
+}

@@ -1,0 +1,221 @@
+package trace
+
+// This file derives the two textual reports from a span snapshot:
+//
+//   - LayerRecorder folds the driver-side layer spans back into a
+//     profile.Recorder, so consumers of the paper-style per-layer table
+//     (cmd/layerprof, PERFORMANCE.md) keep the exact output format the
+//     profile package has always produced;
+//   - UtilizationReport is new: it compares the time each worker rank was
+//     busy inside a layer's parallel regions against the driver-observed
+//     wall time of those regions, yielding per-layer utilization and the
+//     static-schedule imbalance the paper's §4.2 scalability discussion
+//     attributes the efficiency losses to.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"coarsegrain/internal/profile"
+)
+
+// LayerRecorder aggregates the driver-side layer spans of a snapshot
+// into a profile.Recorder, preserving first-seen (network) order. The
+// recorder's Table/Mean/SortedLayersByCost then behave exactly as if the
+// net had recorded into it directly — the API-compatibility bridge
+// between the tracer and the existing per-layer tooling.
+func LayerRecorder(spans []Span) *profile.Recorder {
+	rec := profile.NewRecorder()
+	for _, s := range spans {
+		if s.Rank != RankDriver {
+			continue
+		}
+		switch s.Phase {
+		case PhaseForward:
+			rec.Add(s.Name, profile.Forward, s.Dur)
+		case PhaseBackward:
+			rec.Add(s.Name, profile.Backward, s.Dur)
+		}
+	}
+	return rec
+}
+
+// regionKey identifies one aggregated parallel-region family.
+type regionKey struct {
+	name  string
+	phase Phase
+}
+
+// regionStat accumulates worker-side busy time and driver-side wall time
+// for one (layer, phase).
+type regionStat struct {
+	busy  []time.Duration // per-rank busy time inside the region family
+	wall  time.Duration   // driver-observed total duration of the family
+	spans int             // worker spans aggregated
+	bands map[int]bool    // distinct band indices seen
+}
+
+// Utilization summarizes one (layer, phase) region family.
+type Utilization struct {
+	Name  string
+	Phase Phase
+	// Busy is the summed worker busy time, Wall the driver-observed wall
+	// time of the enclosing engine calls.
+	Busy, Wall time.Duration
+	// Util is Busy / (Workers × Wall) — 1.0 means every rank was busy
+	// for the whole region.
+	Util float64
+	// Imbalance is max(per-rank busy) / mean(per-rank busy) over ranks
+	// that did any work — 1.0 is a perfectly balanced static schedule.
+	Imbalance float64
+	// Bands is the number of distinct schedule bands observed.
+	Bands int
+	// Spans is the number of worker spans aggregated.
+	Spans int
+}
+
+// ComputeUtilization aggregates a snapshot into per-(layer, phase)
+// utilization rows, ordered by first appearance of the driver span.
+// workers is the pool team size the busy time is normalized against.
+// Phases without worker spans (sequential layers, reduce/update) produce
+// no row.
+func ComputeUtilization(spans []Span, workers int) []Utilization {
+	if workers < 1 {
+		workers = 1
+	}
+	stats := make(map[regionKey]*regionStat)
+	var order []regionKey
+	get := func(k regionKey) *regionStat {
+		st, ok := stats[k]
+		if !ok {
+			st = &regionStat{busy: make([]time.Duration, workers), bands: make(map[int]bool)}
+			stats[k] = st
+			order = append(order, k)
+		}
+		return st
+	}
+	for _, s := range spans {
+		if s.Phase != PhaseForward && s.Phase != PhaseBackward && s.Phase != PhaseRegion {
+			continue
+		}
+		k := regionKey{s.Name, s.Phase}
+		if s.Phase == PhaseRegion {
+			// Region spans are the coarse backward's privatize+compute
+			// body; fold them into the backward family.
+			k.phase = PhaseBackward
+		}
+		st := get(k)
+		if s.Rank == RankDriver {
+			st.wall += s.Dur
+			continue
+		}
+		if s.Rank >= 0 && s.Rank < workers {
+			st.busy[s.Rank] += s.Dur
+			st.spans++
+			st.bands[s.Band] = true
+		}
+	}
+
+	var out []Utilization
+	for _, k := range order {
+		st := stats[k]
+		if st.spans == 0 {
+			continue
+		}
+		var busy, maxBusy time.Duration
+		active := 0
+		for _, b := range st.busy {
+			busy += b
+			if b > maxBusy {
+				maxBusy = b
+			}
+			if b > 0 {
+				active++
+			}
+		}
+		u := Utilization{
+			Name: k.name, Phase: k.phase,
+			Busy: busy, Wall: st.wall,
+			Bands: len(st.bands), Spans: st.spans,
+		}
+		if st.wall > 0 {
+			u.Util = float64(busy) / (float64(workers) * float64(st.wall))
+		}
+		if active > 0 {
+			mean := float64(busy) / float64(active)
+			if mean > 0 {
+				u.Imbalance = float64(maxBusy) / mean
+			}
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// WorkerBusy returns the total busy time of each rank across all worker
+// spans — the per-worker row of the utilization report.
+func WorkerBusy(spans []Span, workers int) []time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	busy := make([]time.Duration, workers)
+	for _, s := range spans {
+		if s.Rank >= 0 && s.Rank < workers {
+			busy[s.Rank] += s.Dur
+		}
+	}
+	return busy
+}
+
+// WriteUtilizationReport renders the worker-utilization/imbalance table
+// for a snapshot: one row per traced (layer, phase) parallel-region
+// family, an overall line, and the per-rank busy totals. This is the
+// report OBSERVABILITY.md's methodology section builds the paper's
+// Figure 5/8 efficiency analysis from.
+func WriteUtilizationReport(w io.Writer, spans []Span, workers int) {
+	rows := ComputeUtilization(spans, workers)
+	fmt.Fprintf(w, "%-14s %-9s %12s %12s %7s %7s %6s\n",
+		"layer", "phase", "busy (us)", "wall (us)", "util", "imbal", "bands")
+	var totBusy, totWall time.Duration
+	for _, u := range rows {
+		fmt.Fprintf(w, "%-14s %-9s %12.1f %12.1f %6.1f%% %7.2f %6d\n",
+			u.Name, u.Phase, us(u.Busy), us(u.Wall), u.Util*100, u.Imbalance, u.Bands)
+		totBusy += u.Busy
+		totWall += u.Wall
+	}
+	if totWall > 0 {
+		fmt.Fprintf(w, "%-14s %-9s %12.1f %12.1f %6.1f%%\n",
+			"TOTAL", "", us(totBusy), us(totWall),
+			float64(totBusy)/(float64(workers)*float64(totWall))*100)
+	}
+	busy := WorkerBusy(spans, workers)
+	var sum time.Duration
+	for _, b := range busy {
+		sum += b
+	}
+	fmt.Fprintf(w, "per-worker busy:")
+	for r, b := range busy {
+		share := 0.0
+		if sum > 0 {
+			share = float64(b) / float64(sum) * 100
+		}
+		fmt.Fprintf(w, "  r%d %.1fus (%.1f%%)", r, us(b), share)
+	}
+	fmt.Fprintln(w)
+}
+
+// TopSpans returns the n longest spans of a snapshot — a quick textual
+// answer to "where did the time go" without opening the timeline UI.
+func TopSpans(spans []Span, n int) []Span {
+	out := append([]Span(nil), spans...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dur > out[j].Dur })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// us converts a duration to float microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

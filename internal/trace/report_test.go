@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"coarsegrain/internal/profile"
+)
+
+func TestLayerRecorderMatchesProfileSemantics(t *testing.T) {
+	tr := buildSample()
+	rec := LayerRecorder(tr.Snapshot())
+
+	// Only driver-side forward/backward spans count, first-seen order.
+	if got := rec.Layers(); len(got) != 2 || got[0] != "conv1" || got[1] != "ip1" {
+		t.Fatalf("layers = %v", got)
+	}
+	// buildSample records two 10us forward driver spans per layer.
+	if got := rec.Mean("conv1", profile.Forward); got != 10*time.Microsecond {
+		t.Fatalf("conv1 fwd mean = %v", got)
+	}
+	if got := rec.Mean("conv1", profile.Backward); got != 12*time.Microsecond {
+		t.Fatalf("conv1 bwd mean = %v", got)
+	}
+	// The rendered table is the profile package's format verbatim.
+	table := rec.Table()
+	for _, want := range []string{"layer", "fwd (us)", "bwd (us)", "weight", "conv1", "ip1", "TOTAL"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestComputeUtilization(t *testing.T) {
+	tr := buildSample()
+	rows := ComputeUtilization(tr.Snapshot(), 2)
+	if len(rows) != 4 { // 2 layers × fwd/bwd
+		t.Fatalf("got %d rows: %+v", len(rows), rows)
+	}
+	byKey := map[string]Utilization{}
+	for _, u := range rows {
+		byKey[u.Name+"/"+u.Phase.String()] = u
+	}
+	u, ok := byKey["conv1/forward"]
+	if !ok {
+		t.Fatalf("no conv1/forward row: %+v", rows)
+	}
+	// Two iterations: busy = 2*(8+6)us = 28us, wall = 2*10us = 20us,
+	// util = 28/(2*20) = 0.70, imbalance = 8/7.
+	if u.Busy != 28*time.Microsecond || u.Wall != 20*time.Microsecond {
+		t.Fatalf("busy/wall = %v/%v", u.Busy, u.Wall)
+	}
+	if u.Util < 0.699 || u.Util > 0.701 {
+		t.Fatalf("util = %v, want 0.70", u.Util)
+	}
+	if u.Imbalance < 1.14 || u.Imbalance > 1.15 {
+		t.Fatalf("imbalance = %v, want 8/7", u.Imbalance)
+	}
+	if u.Bands != 2 || u.Spans != 4 {
+		t.Fatalf("bands/spans = %d/%d", u.Bands, u.Spans)
+	}
+}
+
+func TestWorkerBusy(t *testing.T) {
+	tr := buildSample()
+	busy := WorkerBusy(tr.Snapshot(), 2)
+	if len(busy) != 2 {
+		t.Fatalf("len = %d", len(busy))
+	}
+	// Rank 0: 2 iters × (8+8 fwd + 9+9 bwd)us = 68us.
+	if busy[0] != 68*time.Microsecond {
+		t.Fatalf("rank 0 busy = %v", busy[0])
+	}
+	// Rank 1: 2 iters × (6+6 fwd + 10+10 bwd)us = 64us.
+	if busy[1] != 64*time.Microsecond {
+		t.Fatalf("rank 1 busy = %v", busy[1])
+	}
+}
+
+func TestWriteUtilizationReport(t *testing.T) {
+	tr := buildSample()
+	var b strings.Builder
+	WriteUtilizationReport(&b, tr.Snapshot(), 2)
+	out := b.String()
+	for _, want := range []string{"layer", "util", "imbal", "conv1", "ip1", "TOTAL", "per-worker busy:", "r0", "r1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopSpans(t *testing.T) {
+	spans := []Span{
+		{Name: "a", Dur: 3}, {Name: "b", Dur: 9}, {Name: "c", Dur: 5},
+	}
+	top := TopSpans(spans, 2)
+	if len(top) != 2 || top[0].Name != "b" || top[1].Name != "c" {
+		t.Fatalf("top = %+v", top)
+	}
+	// n larger than the snapshot is fine.
+	if got := TopSpans(spans, 10); len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+}

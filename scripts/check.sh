@@ -1,7 +1,9 @@
 #!/bin/sh
 # check.sh — the repository's pre-commit gate: vet, build, the full test
-# suite, and race-detector passes over the parallel substrate (the BLAS
-# band kernels and the worker pool). Run from anywhere inside the repo.
+# suite (including Example tests), race-detector passes over the parallel
+# substrate (the BLAS band kernels, the worker pool and the span tracer),
+# and a tracing smoke run that must produce valid Chrome trace-event JSON.
+# Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,7 +17,18 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (blas, par) =="
-go test -race -count=1 ./internal/blas ./internal/par
+echo "== go test -run Example (doc examples) =="
+go test -run Example ./...
+
+echo "== go test -race (blas, par, trace, net) =="
+go test -race -count=1 ./internal/blas ./internal/par ./internal/trace ./internal/net
+
+echo "== trace smoke: dnnbench -trace | tracecheck =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/dnnbench" ./cmd/dnnbench
+go build -o "$tmpdir/tracecheck" ./cmd/tracecheck
+"$tmpdir/dnnbench" -trace "$tmpdir/out.json" -net mnist -threads 2 -iters 2 -batch 4 -samples 8 >/dev/null
+"$tmpdir/tracecheck" "$tmpdir/out.json"
 
 echo "OK"
