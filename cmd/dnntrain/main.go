@@ -160,7 +160,7 @@ func main() {
 		}
 		fmt.Printf("snapshot written to %s (iteration %d)\n", *snapPath, s.Iter())
 	}
-	if tr != nil {
+	if tr.Enabled() {
 		if err := tr.WriteChromeTraceFile(*tracePth); err != nil {
 			fatal(err)
 		}

@@ -138,7 +138,7 @@ func run(o options, w io.Writer) error {
 	fmt.Fprintf(w, "network memory: %.1f MB, privatization scratch: %.1f KB\n",
 		float64(n.MemoryBytes())/(1<<20), float64(eng.ScratchBytes())/1024)
 
-	if tr != nil {
+	if tr.Enabled() {
 		spans := tr.Snapshot()
 		fmt.Fprintf(w, "\nworker utilization (from %d spans):\n", len(spans))
 		trace.WriteUtilizationReport(w, spans, eng.Workers())

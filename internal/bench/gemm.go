@@ -74,13 +74,13 @@ func GemmKernels(o Options) (*GemmKernelResult, error) {
 		return nil, err
 	}
 	res := &GemmKernelResult{Net: o.Net, Shapes: NetGemmShapes(o.Net)}
-	for _, s := range res.Shapes {
-		ref := timeGemm(s, blas.GemmReference)
-		blk := timeGemm(s, func(ta, tb blas.Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	res.RefMFLOPS = make([]float64, len(res.Shapes))
+	res.BlockedMFLOPS = make([]float64, len(res.Shapes))
+	for i, s := range res.Shapes {
+		res.RefMFLOPS[i] = timeGemm(s, blas.GemmReference)
+		res.BlockedMFLOPS[i] = timeGemm(s, func(ta, tb blas.Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 			blas.Gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 		})
-		res.RefMFLOPS = append(res.RefMFLOPS, ref)
-		res.BlockedMFLOPS = append(res.BlockedMFLOPS, blk)
 	}
 	return res, nil
 }

@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"coarsegrain/internal/lint"
+)
+
+// HotAlloc polices the hot path: the Forward*/Backward* methods and the
+// GEMM kernels run once per layer per pass per iteration — thousands of
+// times per second — and the coarse engine's whole design (arenas,
+// reshape-in-place blobs, packed GEMM scratch) exists to keep them
+// allocation-free. An allocation inside one of their loops turns into
+// GC pressure scaling with batch size × iterations, and fmt calls
+// additionally box every operand. The analyzer flags make/append/new and
+// fmt.* calls inside any loop of a hot function (closures included, so
+// worksharing bodies are covered).
+//
+// Deliberate allocations (e.g. one-time growth amortized across batches)
+// are waived with `//dnnlint:ignore hotalloc <why>`.
+var HotAlloc = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags make/append/new and fmt.* calls inside loops of Forward*/Backward*/GEMM " +
+		"functions (allocation in the per-iteration hot path)",
+	Run: runHotAlloc,
+}
+
+// hotFunc reports whether a function name marks per-iteration hot code.
+// Test entry points are exempt even when their names mention a kernel
+// (TestGemmAgainstNaive builds inputs in loops by design).
+func hotFunc(name string) bool {
+	for _, p := range []string{"Test", "Benchmark", "Fuzz", "Example"} {
+		if strings.HasPrefix(name, p) {
+			return false
+		}
+	}
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "forward") ||
+		strings.HasPrefix(lower, "backward") ||
+		strings.Contains(lower, "gemm")
+}
+
+func runHotAlloc(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotFunc(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					body = loop.Body
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				flagAllocs(pass, fd.Name.Name, body)
+				return true
+			})
+		}
+	}
+}
+
+// flagAllocs reports allocating calls under body, stopping at nested
+// loops: the caller's walk visits those separately, so each call is
+// reported exactly once, attributed to its innermost enclosing loop.
+func flagAllocs(pass *lint.Pass, fn string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Stop at nested loops: the outer walk visits them separately.
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "panic":
+					// Everything under panic() is a cold failure path:
+					// the allocation happens once, on the way down.
+					return false
+				case "make", "append", "new":
+					pass.Reportf(call.Pos(),
+						"%s in a loop of hot function %s allocates per iteration: "+
+							"hoist the buffer out of the loop (or into the engine arena)",
+						b.Name(), fn)
+				}
+				return true
+			}
+		}
+		if callee := calleeOf(pass.Info, call); callee != nil &&
+			callee.Pkg() != nil && callee.Pkg().Name() == "fmt" {
+			pass.Reportf(call.Pos(),
+				"fmt.%s in a loop of hot function %s allocates and boxes every operand per iteration: "+
+					"move diagnostics out of the hot path",
+				callee.Name(), fn)
+		}
+		return true
+	})
+}

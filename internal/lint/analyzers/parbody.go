@@ -1,0 +1,32 @@
+package analyzers
+
+import (
+	"coarsegrain/internal/lint"
+)
+
+// Parbody enforces the worksharing privatization contract of internal/par:
+// a closure handed to Pool.For / ForTiles / ForDynamic / ForOrdered /
+// Region runs concurrently on every rank, so the only captured memory it
+// may write is memory partitioned by the schedule — an element indexed by
+// the closure's rank or by an index derived from its [lo, hi) range.
+// Any other write is executed by all ranks against the same location:
+// a data race, and the exact shape that destroys the paper's convergence
+// invariance (parallel training bit-identical to sequential).
+var Parbody = &lint.Analyzer{
+	Name: "parbody",
+	Doc: "flags writes to captured shared variables inside par.Pool worksharing closures " +
+		"that are not steered by the worker's rank or iteration range",
+	Run: runParbody,
+}
+
+func runParbody(pass *lint.Pass) {
+	forEachPoolClosure(pass, func(c *poolClosure) {
+		for _, w := range c.writesToShared() {
+			pass.Reportf(w.pos,
+				"write to captured %q inside Pool.%s closure is not indexed by the worker's rank or [lo,hi) range: "+
+					"every rank hits the same location (data race; breaks convergence invariance) — "+
+					"privatize per rank and merge with Pool.Ordered",
+				exprString(pass.Fset, w.lhs), c.method)
+		}
+	})
+}

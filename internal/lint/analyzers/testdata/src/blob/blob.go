@@ -1,0 +1,41 @@
+// Package blob is a miniature stand-in for coarsegrain/internal/blob,
+// just enough surface for the blobalias fixtures.
+package blob
+
+// Blob mimics the two-buffer N-d array of the real runtime.
+type Blob struct {
+	data []float32
+	diff []float32
+}
+
+// New creates a blob with the given element count.
+func New(n int) *Blob {
+	return &Blob{data: make([]float32, n), diff: make([]float32, n)}
+}
+
+// Reshape changes the shape, possibly reallocating the buffers.
+func (b *Blob) Reshape(shape ...int) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if cap(b.data) < n {
+		b.data = make([]float32, n)
+		b.diff = make([]float32, n)
+		return
+	}
+	b.data = b.data[:n]
+	b.diff = b.diff[:n]
+}
+
+// ReshapeLike reshapes b to o's element count.
+func (b *Blob) ReshapeLike(o *Blob) { b.Reshape(len(o.data)) }
+
+// Data returns the value buffer.
+func (b *Blob) Data() []float32 { return b.data }
+
+// Diff returns the gradient buffer.
+func (b *Blob) Diff() []float32 { return b.diff }
+
+// Count returns the element count.
+func (b *Blob) Count() int { return len(b.data) }

@@ -1,0 +1,56 @@
+// Package blobalias exercises the blobalias analyzer: Data()/Diff()
+// slices retained across a Reshape of their source blob.
+package blobalias
+
+import "blob"
+
+// layer carries a blob in a field, to exercise selector-chain receivers.
+type layer struct {
+	top *blob.Blob
+}
+
+// badRetained uses a stale alias after the blob was reshaped.
+func badRetained(b *blob.Blob) float32 {
+	d := b.Data()
+	b.Reshape(16, 16)
+	return d[0] // want `"d" was bound to b\.Data\(\) before b\.Reshape and used after it`
+}
+
+// badDiff does the same through the gradient buffer and a write.
+func badDiff(b *blob.Blob) {
+	g := b.Diff()
+	b.Reshape(4)
+	g[0] = 1 // want `"g" was bound to b\.Diff\(\) before b\.Reshape and used after it`
+}
+
+// badField tracks the alias through a field-selection receiver.
+func badField(l *layer, o *blob.Blob) float32 {
+	d := l.top.Data()
+	l.top.ReshapeLike(o)
+	return d[0] // want `"d" was bound to l\.top\.Data\(\) before l\.top\.Reshape and used after it`
+}
+
+// goodRefetch re-fetches the buffer after the reshape: the reaching
+// binding postdates the reshape, so nothing is stale.
+func goodRefetch(b *blob.Blob) float32 {
+	d := b.Data()
+	_ = d[0]
+	b.Reshape(16, 16)
+	d = b.Data()
+	return d[0]
+}
+
+// goodOtherBlob reshapes a different blob: the alias stays valid.
+func goodOtherBlob(b, o *blob.Blob) float32 {
+	d := b.Data()
+	o.Reshape(8)
+	return d[0]
+}
+
+// goodUseBeforeReshape finishes with the alias before reshaping.
+func goodUseBeforeReshape(b *blob.Blob) float32 {
+	d := b.Data()
+	v := d[0]
+	b.Reshape(2, 2)
+	return v
+}

@@ -1,0 +1,66 @@
+// Package hotalloc exercises the hotalloc analyzer: allocation and
+// formatting inside the loops of hot (Forward*/Backward*/GEMM) functions.
+package hotalloc
+
+import "fmt"
+
+type layer struct {
+	scratch []float32
+	names   []string
+}
+
+// ForwardRange is hot: allocations inside its loops are flagged.
+func (l *layer) ForwardRange(lo, hi int, out []float32) {
+	buf := make([]float32, 8) // setup before the loop: fine
+	for i := lo; i < hi; i++ {
+		tmp := make([]float32, 4) // want `make in a loop of hot function ForwardRange`
+		out[i] = tmp[0] + buf[0]
+	}
+	for i := lo; i < hi; i++ {
+		l.names = append(l.names, "x") // want `append in a loop of hot function ForwardRange`
+		_ = i
+	}
+}
+
+// BackwardRange is hot: fmt calls inside its loops are flagged, even
+// inside nested closures (worksharing bodies).
+func (l *layer) BackwardRange(lo, hi int, grad []float32) {
+	for i := lo; i < hi; i++ {
+		msg := fmt.Sprintf("grad[%d]", i) // want `fmt\.Sprintf in a loop of hot function BackwardRange`
+		_ = msg
+		func() {
+			p := new(float32) // want `new in a loop of hot function BackwardRange`
+			grad[i] += *p
+		}()
+	}
+}
+
+// gemmPack is hot by name (contains "gemm").
+func gemmPack(a []float32) [][]float32 {
+	var panels [][]float32
+	for i := 0; i < len(a); i += 4 {
+		panels = append(panels, a[i:i+4]) // want `append in a loop of hot function gemmPack`
+	}
+	return panels
+}
+
+// BackwardPrepare allocates once per pass with an explicit waiver.
+func (l *layer) BackwardPrepare(n int) {
+	for len(l.scratch) < n {
+		//dnnlint:ignore hotalloc grows once to the high-water mark, then never again
+		l.scratch = append(l.scratch, 0)
+	}
+}
+
+// reshapeScratch is not a hot function: allocation in its loops is fine.
+func reshapeScratch(shapes [][]int) [][]float32 {
+	var bufs [][]float32
+	for _, s := range shapes {
+		n := 1
+		for _, d := range s {
+			n *= d
+		}
+		bufs = append(bufs, make([]float32, n))
+	}
+	return bufs
+}

@@ -1,0 +1,78 @@
+// Package orderedreduce exercises the orderedreduce analyzer: float
+// reductions whose visit order is not fixed, against the deterministic
+// ordered-merge idiom.
+package orderedreduce
+
+import "par"
+
+// badCrossRank accumulates floats across ranks outside Pool.Ordered.
+func badCrossRank(p *par.Pool, in []float32) float32 {
+	var sum float32
+	var sums [4]float64
+	p.For(len(in), func(lo, hi, rank int) {
+		for i := lo; i < hi; i++ {
+			sum += in[i] // want `cross-rank floating-point accumulation into "sum" inside Pool\.For closure`
+		}
+		sums[0] += float64(in[lo]) // want `cross-rank floating-point accumulation into "sums\[\.\.\.\]" inside Pool\.For closure`
+	})
+	return sum + float32(sums[0])
+}
+
+// badMapRange accumulates floats in map iteration order.
+func badMapRange(weights map[string]float64) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w // want "floating-point accumulation into \"total\" is driven by `range` over a map"
+	}
+	var norm float64
+	for _, w := range weights {
+		norm = norm + w*w // want "floating-point accumulation into \"norm\" is driven by `range` over a map"
+	}
+	return total + norm
+}
+
+// goodOrdered privatizes per rank and merges in rank order: the
+// sanctioned deterministic reduction (never flagged).
+func goodOrdered(p *par.Pool, in []float32) float32 {
+	partials := make([]float32, p.Workers())
+	p.ForOrdered(len(in),
+		func(lo, hi, rank int) {
+			var local float32
+			for i := lo; i < hi; i++ {
+				local += in[i] // closure-local: visit order fixed within one rank
+			}
+			partials[rank] = local
+		},
+		func(rank int) {
+			partials[0] += partials[rank] // ordered merge: exempt by design
+		})
+	return partials[0]
+}
+
+// goodMapUses shows map iteration that is fine: non-float accumulation,
+// and float accumulation over a deterministically ordered slice.
+func goodMapUses(weights map[string]float64, keys []string) float64 {
+	n := 0
+	for range weights {
+		n++ // integer count: order-independent
+	}
+	var total float64
+	for _, k := range keys { // sorted-keys idiom: slice range is ordered
+		total += weights[k]
+	}
+	// Accumulation into a loop-local float resets each pass: harmless.
+	for _, w := range weights {
+		half := 0.0
+		half += w / 2
+		_ = half
+	}
+	// Per-key updates touch each entry exactly once: iteration order
+	// cannot change the result, so they are not reductions.
+	for k := range weights {
+		weights[k] /= total
+	}
+	for k, w := range weights {
+		weights[k] = w * w
+	}
+	return total + float64(n)
+}

@@ -1,0 +1,36 @@
+// Package trace is a miniature stand-in for coarsegrain/internal/trace:
+// a nil-safe Tracer handle, just enough surface for the tracenil
+// call-site fixtures.
+package trace
+
+// Span is one recorded interval.
+type Span struct {
+	Name string
+}
+
+// Tracer records spans; all methods are nil-safe.
+type Tracer struct {
+	spans []Span
+}
+
+// New creates a tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Enabled reports whether the handle records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Record stores one span.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Len returns the number of spans held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}

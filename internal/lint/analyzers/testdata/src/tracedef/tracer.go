@@ -1,0 +1,43 @@
+// Package trace (fixture import path "tracedef") exercises the tracenil
+// analyzer's defining-package rule: every exported pointer-receiver
+// Tracer method must open with a nil-receiver guard.
+package trace
+
+// Span is one recorded interval.
+type Span struct{ Name string }
+
+// Tracer records spans and promises nil-safety on every method.
+type Tracer struct {
+	spans []Span
+	on    bool
+}
+
+// Enabled is the canonical nil test: a direct nil comparison as the
+// first (and only) statement satisfies the contract.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Record guards its receiver: compliant.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Len forgets the guard: a nil handle panics here.
+func (t *Tracer) Len() int { // want `exported Tracer method Len does not begin with a nil-receiver guard`
+	return len(t.spans)
+}
+
+// Toggle also forgets the guard, with a non-empty body.
+func (t *Tracer) Toggle() { // want `exported Tracer method Toggle does not begin with a nil-receiver guard`
+	t.on = !t.on
+}
+
+// reset is unexported: internal callers own the nil discipline.
+func (t *Tracer) reset() {
+	t.spans = t.spans[:0]
+}
+
+// Copy has a value receiver: it can never be nil, so no guard needed.
+func (t Tracer) Copy() Tracer { return t }

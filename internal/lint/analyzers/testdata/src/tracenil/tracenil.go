@@ -1,0 +1,42 @@
+// Package tracenil exercises the tracenil analyzer's call-site rule:
+// tracer handles must be tested with Enabled(), never compared to nil.
+package tracenil
+
+import "trace"
+
+type net struct {
+	tracer *trace.Tracer
+	label  *string
+}
+
+// badComparisons test the handle against nil directly.
+func badComparisons(n *net, tr *trace.Tracer) int {
+	count := 0
+	if tr != nil { // want `\*trace\.Tracer compared to nil: use the nil-safe idiom tr\.Enabled\(\)`
+		count++
+	}
+	if n.tracer == nil { // want `\*trace\.Tracer compared to nil: use the nil-safe idiom !n\.tracer\.Enabled\(\)`
+		count--
+	}
+	timed := n.label != nil || n.tracer != nil // want `\*trace\.Tracer compared to nil: use the nil-safe idiom n\.tracer\.Enabled\(\)`
+	if timed {
+		count++
+	}
+	return count
+}
+
+// goodEnabled uses the nil-safe idiom.
+func goodEnabled(n *net, tr *trace.Tracer) {
+	if tr.Enabled() {
+		tr.Record(trace.Span{Name: "layer"})
+	}
+	if !n.tracer.Enabled() {
+		return
+	}
+	n.tracer.Record(trace.Span{Name: "iter"})
+}
+
+// goodOtherNil compares a non-tracer pointer to nil: out of scope.
+func goodOtherNil(n *net) bool {
+	return n.label == nil
+}

@@ -1,0 +1,161 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"coarsegrain/internal/lint"
+)
+
+// TraceNil enforces the nil-tracer contract of internal/trace: every
+// instrumented site holds a plain *trace.Tracer handle that is nil when
+// tracing is off, and the trace package promises that every Tracer method
+// no-ops on a nil receiver. Two rules keep that contract honest:
+//
+//  1. In the trace package itself, every exported pointer-receiver method
+//     of Tracer must begin with a nil-receiver guard (`if t == nil`) or
+//     be a direct nil test (Enabled's `return t != nil`). A new method
+//     without the guard would panic at every untraced call site.
+//
+//  2. Everywhere else, tracer handles must be tested with Enabled(), not
+//     compared to nil directly. Enabled is the single point of truth for
+//     "is tracing on": raw nil comparisons duplicate its current
+//     implementation inline and silently diverge if enablement ever
+//     grows beyond nil-ness (sampling, per-phase gates).
+var TraceNil = &lint.Analyzer{
+	Name: "tracenil",
+	Doc: "enforces the nil-safe tracer contract: Tracer methods guard their nil receiver, " +
+		"call sites test tracers with Enabled() instead of comparing to nil",
+	Run: runTraceNil,
+}
+
+func runTraceNil(pass *lint.Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "trace" {
+		checkTracerMethods(pass)
+		return
+	}
+	checkTracerComparisons(pass)
+}
+
+// checkTracerMethods verifies rule 1 inside the defining package.
+func checkTracerMethods(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+				continue
+			}
+			recvType := pass.TypeOf(fd.Recv.List[0].Type)
+			if _, ptr := recvType.(*types.Pointer); !ptr {
+				continue // value receivers cannot be nil
+			}
+			if !isNamed(recvType, "trace", "Tracer") {
+				continue
+			}
+			recv := fd.Recv.List[0].Names[0]
+			if recv.Name == "_" || !methodStartsWithNilGuard(pass, fd, recv.Name) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported Tracer method %s does not begin with a nil-receiver guard: "+
+						"the nil-tracer contract promises every method no-ops on a nil receiver "+
+						"(start with `if %s == nil { return ... }`)",
+					fd.Name.Name, recvName(recv))
+			}
+		}
+	}
+}
+
+func recvName(id *ast.Ident) string {
+	if id.Name == "_" {
+		return "t"
+	}
+	return id.Name
+}
+
+// methodStartsWithNilGuard accepts either an opening `if recv == nil`
+// statement or a first statement that is itself a nil test of the
+// receiver (`return t != nil`).
+func methodStartsWithNilGuard(pass *lint.Pass, fd *ast.FuncDecl, recv string) bool {
+	if len(fd.Body.List) == 0 {
+		return true // empty body is trivially nil-safe
+	}
+	first := fd.Body.List[0]
+	switch st := first.(type) {
+	case *ast.IfStmt:
+		return isNilTestOf(st.Cond, recv)
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			if isNilTestOf(res, recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNilTestOf reports whether expr is `recv == nil` or `recv != nil`.
+func isNilTestOf(expr ast.Expr, recv string) bool {
+	be, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}
+
+// checkTracerComparisons verifies rule 2 outside the defining package.
+func checkTracerComparisons(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			var tracerSide ast.Expr
+			if isNilIdent(pass, be.Y) && isTracerExpr(pass, be.X) {
+				tracerSide = be.X
+			} else if isNilIdent(pass, be.X) && isTracerExpr(pass, be.Y) {
+				tracerSide = be.Y
+			}
+			if tracerSide == nil {
+				return true
+			}
+			var suggestion string
+			if be.Op == token.EQL {
+				suggestion = "!" + exprString(pass.Fset, tracerSide) + ".Enabled()"
+			} else {
+				suggestion = exprString(pass.Fset, tracerSide) + ".Enabled()"
+			}
+			pass.Reportf(be.Pos(),
+				"*trace.Tracer compared to nil: use the nil-safe idiom %s instead — "+
+					"Enabled is the contract for \"is tracing on\" and raw nil checks diverge "+
+					"from it if enablement ever grows beyond nil-ness",
+				suggestion)
+			return true
+		})
+	}
+}
+
+func isNilIdent(pass *lint.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNil := pass.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+func isTracerExpr(pass *lint.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	return t != nil && isNamed(t, "trace", "Tracer")
+}

@@ -1,0 +1,205 @@
+// Package lint is a from-scratch static-analysis framework for enforcing
+// the repository's determinism and parallelism contracts (LINTING.md).
+//
+// The runtime guarantees the paper's headline property — parallel training
+// that is bit-identical to sequential training — only by convention: static
+// scheduling in internal/par, ordered gradient reduction via Pool.Ordered,
+// nil-safe tracer handles in internal/trace, alias discipline on blob
+// buffers. Those conventions are one careless closure away from being
+// silently broken, so this package machine-checks them.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools/go/
+// analysis (Analyzer, Pass, position-accurate Diagnostics) but is built
+// exclusively on the standard library: go/parser, go/ast, go/types and the
+// stdlib source importer. See Load for how packages are resolved without
+// x/tools.
+//
+// # Suppressing a diagnostic
+//
+// A finding can be waived at a single site with a directive comment on the
+// flagged line or the line above it:
+//
+//	//dnnlint:ignore hotalloc per-batch growth is amortized by the arena
+//
+// The directive names one analyzer (or a comma-separated list, or "all")
+// and must carry a justification; bare suppressions are themselves
+// reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects a single package via the
+// Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives
+	// (lower-case, no spaces).
+	Name string
+	// Doc is a short description: first line is a one-sentence summary,
+	// the rest elaborates the enforced invariant.
+	Doc string
+	// Run performs the check on one type-checked package.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, resolved to a concrete file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id (its use or definition), or
+// nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings ordered by position. Ignore directives (see the package
+// comment) are honored here; an ignore directive without a justification
+// is converted into its own finding.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	diags = applyIgnores(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //dnnlint:ignore comment.
+type ignoreDirective struct {
+	names     map[string]bool // analyzer names, or {"all": true}
+	justified bool
+	pos       token.Position
+}
+
+const ignorePrefix = "//dnnlint:ignore"
+
+// parseIgnores scans a file's comments for directives, keyed by line.
+func parseIgnores(fset *token.FileSet, f *ast.File, out map[string]map[int]*ignoreDirective) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			fields := strings.Fields(rest)
+			d := &ignoreDirective{names: map[string]bool{}, pos: fset.Position(c.Pos())}
+			if len(fields) > 0 {
+				for _, n := range strings.Split(fields[0], ",") {
+					d.names[n] = true
+				}
+				d.justified = len(fields) > 1
+			}
+			byLine := out[d.pos.Filename]
+			if byLine == nil {
+				byLine = map[int]*ignoreDirective{}
+				out[d.pos.Filename] = byLine
+			}
+			byLine[d.pos.Line] = d
+		}
+	}
+}
+
+// applyIgnores drops diagnostics waived by a directive on their line or
+// the line above, and reports unjustified directives.
+func applyIgnores(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	directives := map[string]map[int]*ignoreDirective{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			parseIgnores(pkg.Fset, f, directives)
+		}
+	}
+	matching := func(d Diagnostic) *ignoreDirective {
+		byLine := directives[d.Pos.Filename]
+		if byLine == nil {
+			return nil
+		}
+		for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+			if dir := byLine[line]; dir != nil && (dir.names["all"] || dir.names[d.Analyzer]) {
+				return dir
+			}
+		}
+		return nil
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if matching(d) == nil {
+			out = append(out, d)
+		}
+	}
+	for _, byLine := range directives {
+		for _, dir := range byLine {
+			if !dir.justified {
+				out = append(out, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "ignore",
+					Message:  "dnnlint:ignore directive needs a justification after the analyzer name",
+				})
+			}
+		}
+	}
+	return out
+}

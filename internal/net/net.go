@@ -163,7 +163,7 @@ func New(specs []LayerSpec, engine core.Engine) (*Net, error) {
 // propagated to the new engine.
 func (n *Net) SetEngine(e core.Engine) {
 	n.engine = e
-	if n.tracer != nil {
+	if n.tracer.Enabled() {
 		propagateTracer(e, n.tracer)
 	}
 }
@@ -219,7 +219,7 @@ func (n *Net) ParamNames() []string { return n.paramNames }
 // When neither a recorder nor a tracer is attached, the loop takes no
 // clock readings at all.
 func (n *Net) Forward() float64 {
-	timed := n.recorder != nil || n.tracer != nil
+	timed := n.recorder != nil || n.tracer.Enabled()
 	for i, spec := range n.specs {
 		var start time.Time
 		if timed {
@@ -290,7 +290,7 @@ func (n *Net) Backward() {
 		w := n.specs[i].Layer.(layers.LossWeighter).LossWeight()
 		n.tops[i][0].Diff()[0] = w
 	}
-	timed := n.recorder != nil || n.tracer != nil
+	timed := n.recorder != nil || n.tracer.Enabled()
 	for i := len(n.specs) - 1; i >= 0; i-- {
 		if !n.needsBackward[i] {
 			continue

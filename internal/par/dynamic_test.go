@@ -30,9 +30,9 @@ func TestForDynamicExactCoverage(t *testing.T) {
 func TestForDynamicEmptyAndChunkClamp(t *testing.T) {
 	p := NewPool(3)
 	defer p.Close()
-	called := false
-	p.ForDynamic(0, 4, func(lo, hi, rank int) { called = true })
-	if called {
+	var called int32
+	p.ForDynamic(0, 4, func(lo, hi, rank int) { atomic.AddInt32(&called, 1) })
+	if atomic.LoadInt32(&called) != 0 {
 		t.Fatal("body called for empty loop")
 	}
 	// chunk <= 0 treated as 1: still exact coverage.

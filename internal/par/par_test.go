@@ -80,10 +80,10 @@ func TestForCoversAllIterations(t *testing.T) {
 func TestForEmptyAndNegative(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()
-	called := false
-	p.For(0, func(lo, hi, rank int) { called = true })
-	p.For(-5, func(lo, hi, rank int) { called = true })
-	if called {
+	var called int32
+	p.For(0, func(lo, hi, rank int) { atomic.AddInt32(&called, 1) })
+	p.For(-5, func(lo, hi, rank int) { atomic.AddInt32(&called, 1) })
+	if atomic.LoadInt32(&called) != 0 {
 		t.Fatal("body called for empty loop")
 	}
 }

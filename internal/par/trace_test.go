@@ -17,7 +17,7 @@ func TestForTilesSingleTileContract(t *testing.T) {
 	var gotLo, gotHi, gotRank int
 	p.ForTiles(3, 8, func(lo, hi, rank int) {
 		if atomic.AddInt32(&calls, 1) == 1 {
-			gotLo, gotHi, gotRank = lo, hi, rank
+			gotLo, gotHi, gotRank = lo, hi, rank //dnnlint:ignore parbody single-tile contract runs the body exactly once, on the calling goroutine
 		}
 	})
 	if calls != 1 {

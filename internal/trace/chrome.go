@@ -96,6 +96,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 // WriteChromeTraceFile writes the trace to path, creating or truncating
 // the file.
 func (t *Tracer) WriteChromeTraceFile(path string) error {
+	if t == nil {
+		return nil
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)

@@ -1,9 +1,11 @@
 #!/bin/sh
-# check.sh — the repository's pre-commit gate: vet, build, the full test
+# check.sh — the repository's pre-commit gate: vet, build, dnnlint (the
+# determinism/parallelism contract linter, see LINTING.md), the full test
 # suite (including Example tests), race-detector passes over the parallel
-# substrate (the BLAS band kernels, the worker pool and the span tracer),
-# and a tracing smoke run that must produce valid Chrome trace-event JSON.
-# Run from anywhere inside the repo.
+# substrate (the BLAS band kernels, the worker pool, the span tracer, the
+# instrumented net loop and the coarse engine), and a tracing smoke run
+# that must produce valid Chrome trace-event JSON. Run from anywhere
+# inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,18 +16,32 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== dnnlint (determinism & parallelism contracts) =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/dnnlint" ./cmd/dnnlint
+"$tmpdir/dnnlint" ./...
+
+# Self-test: the gate is worthless if the linter silently stops seeing
+# violations, so prove it still fires on a known-bad fixture.
+echo "== dnnlint self-test (must flag the seeded violation) =="
+if "$tmpdir/dnnlint" -only parbody -src internal/lint/analyzers/testdata/src \
+	./internal/lint/analyzers/testdata/src/parbody >/dev/null 2>&1; then
+	echo "FAIL: dnnlint exited 0 on the seeded parbody fixture" >&2
+	exit 1
+fi
+echo "seeded violation detected, as required"
+
 echo "== go test =="
 go test ./...
 
 echo "== go test -run Example (doc examples) =="
 go test -run Example ./...
 
-echo "== go test -race (blas, par, trace, net) =="
-go test -race -count=1 ./internal/blas ./internal/par ./internal/trace ./internal/net
+echo "== go test -race (blas, par, trace, net, core) =="
+go test -race -count=1 ./internal/blas ./internal/par ./internal/trace ./internal/net ./internal/core
 
 echo "== trace smoke: dnnbench -trace | tracecheck =="
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/dnnbench" ./cmd/dnnbench
 go build -o "$tmpdir/tracecheck" ./cmd/tracecheck
 "$tmpdir/dnnbench" -trace "$tmpdir/out.json" -net mnist -threads 2 -iters 2 -batch 4 -samples 8 >/dev/null
