@@ -1,7 +1,7 @@
 package data
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -42,17 +42,17 @@ func ReadCIFAR10Binary(r io.Reader, ds *InMemory) error {
 }
 
 // LoadCIFAR10Files reads a set of CIFAR-10 binary batch files into one
-// in-memory dataset.
+// in-memory dataset. Each file is read whole with bounded retry/backoff
+// (DefaultRetry), so a transient storage failure mid-file is retried from
+// the start instead of leaving a half-parsed batch in the dataset.
 func LoadCIFAR10Files(paths ...string) (*InMemory, error) {
 	ds := NewInMemory([]int{3, 32, 32}, 10)
 	for _, p := range paths {
-		f, err := os.Open(p)
+		raw, err := readFileRetry(p, DefaultRetry)
 		if err != nil {
 			return nil, err
 		}
-		err = ReadCIFAR10Binary(bufio.NewReader(f), ds)
-		f.Close()
-		if err != nil {
+		if err := ReadCIFAR10Binary(bytes.NewReader(raw), ds); err != nil {
 			return nil, fmt.Errorf("%s: %w", p, err)
 		}
 	}

@@ -1,7 +1,7 @@
 package data
 
 import (
-	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
@@ -53,60 +53,50 @@ func ReadIDX(r io.Reader) (dims []int, payload []byte, err error) {
 	return dims, payload, nil
 }
 
-// openMaybeGzip opens path, transparently decompressing ".gz" files.
-func openMaybeGzip(path string) (io.ReadCloser, error) {
-	f, err := os.Open(path)
+// readMaybeGzip reads path fully with bounded retry/backoff
+// (DefaultRetry), transparently decompressing ".gz" files in memory.
+func readMaybeGzip(path string) ([]byte, error) {
+	raw, err := readFileRetry(path, DefaultRetry)
 	if err != nil {
 		return nil, err
 	}
-	if strings.HasSuffix(path, ".gz") {
-		gz, err := gzip.NewReader(bufio.NewReader(f))
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		return &gzipCloser{gz: gz, f: f}, nil
+	if !strings.HasSuffix(path, ".gz") {
+		return raw, nil
 	}
-	return f, nil
-}
-
-type gzipCloser struct {
-	gz *gzip.Reader
-	f  *os.File
-}
-
-func (g *gzipCloser) Read(p []byte) (int, error) { return g.gz.Read(p) }
-
-func (g *gzipCloser) Close() error {
-	gerr := g.gz.Close()
-	ferr := g.f.Close()
-	if gerr != nil {
-		return gerr
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return ferr
+	out, err := io.ReadAll(gz)
+	if cerr := gz.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
 }
 
 // LoadMNISTFiles reads an MNIST image/label file pair into an in-memory
 // dataset with pixel values scaled to [0, 1] (Caffe's 1/256 transform).
+// File reads go through the bounded retry policy (DefaultRetry).
 func LoadMNISTFiles(imagePath, labelPath string) (*InMemory, error) {
-	imf, err := openMaybeGzip(imagePath)
+	imraw, err := readMaybeGzip(imagePath)
 	if err != nil {
 		return nil, err
 	}
-	defer imf.Close()
-	idims, ipix, err := ReadIDX(bufio.NewReader(imf))
+	idims, ipix, err := ReadIDX(bytes.NewReader(imraw))
 	if err != nil {
 		return nil, fmt.Errorf("mnist images: %w", err)
 	}
 	if len(idims) != 3 {
 		return nil, fmt.Errorf("mnist images: want 3 dims, got %v", idims)
 	}
-	lbf, err := openMaybeGzip(labelPath)
+	lbraw, err := readMaybeGzip(labelPath)
 	if err != nil {
 		return nil, err
 	}
-	defer lbf.Close()
-	ldims, labs, err := ReadIDX(bufio.NewReader(lbf))
+	ldims, labs, err := ReadIDX(bytes.NewReader(lbraw))
 	if err != nil {
 		return nil, fmt.Errorf("mnist labels: %w", err)
 	}

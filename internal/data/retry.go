@@ -1,0 +1,70 @@
+package data
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// openFile is the seam through which every dataset loader opens a file.
+// The fault-injection harness (internal/faultinject) swaps it to model
+// flaky storage; production code never touches it.
+var openFile = func(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// SetOpenFile replaces the loader file-open hook and returns a function
+// restoring the previous one. Not safe for concurrent use with loads in
+// flight; it exists for tests and fault drills.
+func SetOpenFile(open func(string) (io.ReadCloser, error)) (restore func()) {
+	prev := openFile
+	openFile = open
+	return func() { openFile = prev }
+}
+
+// RetryPolicy bounds how persistently the loaders re-read a failing
+// dataset file. Transient storage failures (network filesystems, object
+// stores) are common enough at training scale that a single hiccup must
+// not kill a run, but the retry is strictly bounded — a genuinely missing
+// or unreadable file still surfaces promptly.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (default 3).
+	Attempts int
+	// Backoff is the sleep before the first retry, doubled after each
+	// subsequent failure (default 5ms).
+	Backoff time.Duration
+}
+
+// DefaultRetry is the policy the MNIST/CIFAR loaders use. Tests shrink
+// the backoff to keep fault drills fast.
+var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 5 * time.Millisecond}
+
+// readFileRetry reads path fully under the policy: each attempt opens and
+// reads the whole file, so a failure partway through an attempt (a
+// truncated read) discards the partial data instead of corrupting the
+// dataset being assembled.
+func readFileRetry(path string, pol RetryPolicy) ([]byte, error) {
+	if pol.Attempts <= 0 {
+		pol.Attempts = 1
+	}
+	var last error
+	for a := 0; a < pol.Attempts; a++ {
+		if a > 0 {
+			time.Sleep(pol.Backoff << (a - 1))
+		}
+		rc, err := openFile(path)
+		if err != nil {
+			last = err
+			continue
+		}
+		raw, err := io.ReadAll(rc)
+		cerr := rc.Close()
+		if err == nil && cerr == nil {
+			return raw, nil
+		}
+		if err == nil {
+			err = cerr
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("data: reading %s failed after %d attempts: %w", path, pol.Attempts, last)
+}

@@ -1,0 +1,213 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// the robustness test suite (ROBUSTNESS.md): every recovery path the
+// runtime claims to handle — a corrupt or torn checkpoint, a NaN poisoned
+// into a gradient, a flaky dataset read — can be triggered on purpose,
+// reproducibly, from a single seed.
+//
+// Determinism is the point. Chaos that cannot be replayed cannot be
+// debugged; the Injector derives every decision (which byte to flip,
+// which gradient element to poison, where a read breaks) from a private
+// internal/rng stream, so a failing scenario reruns bit-identically under
+// the same seed — the same property the paper demands of the training
+// computation itself.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/rng"
+	"coarsegrain/internal/solver"
+)
+
+// Injector derives fault decisions from a seeded RNG stream.
+type Injector struct {
+	r *rng.RNG
+}
+
+// New creates an injector; the same seed yields the same fault sequence.
+func New(seed uint64) *Injector {
+	return &Injector{r: rng.New(seed, 0xFA017)}
+}
+
+// CorruptFile flips one byte of the file at a seeded offset — the
+// bit-rot / partial-overwrite model a checksummed snapshot must detect.
+// Returns the offset flipped.
+func (in *Injector) CorruptFile(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() == 0 {
+		return 0, fmt.Errorf("faultinject: %s is empty", path)
+	}
+	off := int64(in.r.Intn(int(st.Size())))
+	return off, FlipByteAt(path, off)
+}
+
+// FlipByteAt inverts the byte at offset off of the file in place.
+func FlipByteAt(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		f.Close()
+		return err
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TruncateFile shears the file to a seeded strict prefix of itself — the
+// torn-write model of a crash mid-save. Returns the new length.
+func (in *Injector) TruncateFile(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() < 2 {
+		return 0, fmt.Errorf("faultinject: %s too small to truncate", path)
+	}
+	n := 1 + int64(in.r.Intn(int(st.Size()-1)))
+	return n, os.Truncate(path, n)
+}
+
+// GradPoisoner writes a NaN into one seeded element of one seeded
+// parameter gradient when training reaches a fixed iteration — the
+// minimal numerical fault a divergence guard must catch.
+type GradPoisoner struct {
+	n     *net.Net
+	at    int
+	param int
+	index int
+	// Fired reports whether the poison has been delivered.
+	Fired bool
+}
+
+// GradPoisoner arms a poisoner for iteration at. The target element is
+// chosen from the injector's stream at arming time, so the scenario is
+// fixed before training starts.
+func (in *Injector) GradPoisoner(n *net.Net, at int) (*GradPoisoner, error) {
+	params := n.Params()
+	if len(params) == 0 {
+		return nil, fmt.Errorf("faultinject: net has no parameters")
+	}
+	p := in.r.Intn(len(params))
+	if params[p].Count() == 0 {
+		return nil, fmt.Errorf("faultinject: parameter %d is empty", p)
+	}
+	return &GradPoisoner{
+		n: n, at: at, param: p, index: in.r.Intn(params[p].Count()),
+	}, nil
+}
+
+// Apply delivers the poison when iter matches the armed iteration;
+// call it after the backward pass (e.g. from a solver pre-update hook).
+func (g *GradPoisoner) Apply(iter int) bool {
+	if iter != g.at {
+		return false
+	}
+	g.n.Params()[g.param].Diff()[g.index] = float32(math.NaN())
+	g.Fired = true
+	return true
+}
+
+// Hook composes the poisoner with a downstream solver pre-update hook
+// (nil means proceed): the poison lands first, then the downstream hook —
+// typically guard.Monitor.Check — sees the damaged gradient.
+func (g *GradPoisoner) Hook(next solver.PreUpdateHook) solver.PreUpdateHook {
+	return func(iter int, loss float64) solver.PreUpdateAction {
+		g.Apply(iter)
+		if next == nil {
+			return solver.ActProceed
+		}
+		return next(iter, loss)
+	}
+}
+
+// ErrTransient is the error flaky readers return; it models a recoverable
+// I/O failure (NFS hiccup, throttled object store) that a bounded retry
+// should absorb.
+var ErrTransient = fmt.Errorf("faultinject: transient read failure")
+
+// FlakyOpener makes the first Failures read attempts of every path fail —
+// either at open, or (when the injector decides so) partway through the
+// read, which exercises truncated-read handling too. It plugs into the
+// dataset loaders via data.SetOpenFile.
+type FlakyOpener struct {
+	open     func(string) (io.ReadCloser, error)
+	failures int
+	r        *rng.RNG
+	attempts map[string]int
+}
+
+// FlakyOpener wraps the real file opener: per path, the first failures
+// attempts fail deterministically, later ones succeed.
+func (in *Injector) FlakyOpener(failures int) *FlakyOpener {
+	return &FlakyOpener{
+		open:     func(path string) (io.ReadCloser, error) { return os.Open(path) },
+		failures: failures,
+		r:        in.r.Split(1),
+		attempts: map[string]int{},
+	}
+}
+
+// Attempts reports how many opens were made for path.
+func (f *FlakyOpener) Attempts(path string) int { return f.attempts[path] }
+
+// Open implements the data.SetOpenFile signature.
+func (f *FlakyOpener) Open(path string) (io.ReadCloser, error) {
+	f.attempts[path]++
+	if f.attempts[path] <= f.failures {
+		// Half the failures happen at open, half partway through the
+		// read; both must look transient to the loader's retry loop.
+		if f.r.Bernoulli(0.5) {
+			return nil, fmt.Errorf("faultinject: open %s: %w", path, ErrTransient)
+		}
+		st, err := os.Stat(path)
+		if err != nil || st.Size() < 2 {
+			// Too small to break partway through: fail at open instead.
+			return nil, fmt.Errorf("faultinject: open %s: %w", path, ErrTransient)
+		}
+		rc, err := f.open(path)
+		if err != nil {
+			return nil, err
+		}
+		// The budget is a seeded strict prefix of the file, so the read
+		// always breaks before completing.
+		return &flakyFile{rc: rc, remaining: 1 + int64(f.r.Intn(int(st.Size()-1)))}, nil
+	}
+	return f.open(path)
+}
+
+// flakyFile reads normally until its byte budget runs out, then fails.
+type flakyFile struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (ff *flakyFile) Read(p []byte) (int, error) {
+	if ff.remaining <= 0 {
+		return 0, ErrTransient
+	}
+	if int64(len(p)) > ff.remaining {
+		p = p[:ff.remaining]
+	}
+	n, err := ff.rc.Read(p)
+	ff.remaining -= int64(n)
+	if err == nil && ff.remaining <= 0 {
+		err = ErrTransient
+	}
+	return n, err
+}
+
+func (ff *flakyFile) Close() error { return ff.rc.Close() }

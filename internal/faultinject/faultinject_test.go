@@ -1,0 +1,296 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"coarsegrain/internal/data"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/rng"
+	"coarsegrain/internal/solver"
+)
+
+func writeTemp(t *testing.T, content []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "victim.bin")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCorruptFileIsDeterministic(t *testing.T) {
+	content := make([]byte, 4096)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	p1 := writeTemp(t, content)
+	p2 := writeTemp(t, content)
+	off1, err := New(42).CorruptFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := New(42).CorruptFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 != off2 {
+		t.Fatalf("same seed flipped different offsets: %d vs %d", off1, off2)
+	}
+	got, _ := os.ReadFile(p1)
+	diffs := 0
+	for i := range content {
+		if got[i] != content[i] {
+			diffs++
+			if int64(i) != off1 {
+				t.Fatalf("byte %d changed, reported offset %d", i, off1)
+			}
+			if got[i] != content[i]^0xFF {
+				t.Fatalf("byte %d = %#x, want inverted %#x", i, got[i], content[i]^0xFF)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1", diffs)
+	}
+	// A different seed picks a different offset (for this content size).
+	p3 := writeTemp(t, content)
+	off3, err := New(43).CorruptFile(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off3 == off1 {
+		t.Logf("seeds 42 and 43 collided on offset %d (possible, just unlucky)", off1)
+	}
+}
+
+func TestCorruptFileRejectsEmpty(t *testing.T) {
+	if _, err := New(1).CorruptFile(writeTemp(t, nil)); err == nil {
+		t.Fatal("empty file corrupted successfully")
+	}
+}
+
+func TestTruncateFileIsDeterministicStrictPrefix(t *testing.T) {
+	content := make([]byte, 1000)
+	p1, p2 := writeTemp(t, content), writeTemp(t, content)
+	n1, err := New(7).TruncateFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := New(7).TruncateFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("same seed truncated to different lengths: %d vs %d", n1, n2)
+	}
+	if n1 <= 0 || n1 >= int64(len(content)) {
+		t.Fatalf("truncated length %d is not a strict prefix of %d", n1, len(content))
+	}
+	st, _ := os.Stat(p1)
+	if st.Size() != n1 {
+		t.Fatalf("file is %d bytes, reported %d", st.Size(), n1)
+	}
+}
+
+func tinyTrainNet(t *testing.T) *net.Net {
+	t.Helper()
+	d, err := layers.NewData("data", microSource{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := layers.NewInnerProduct("ip", layers.IPConfig{NumOutput: 2, RNG: rng.New(5, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.New([]net.LayerSpec{
+		{Layer: d, Tops: []string{"data", "label"}},
+		{Layer: ip, Bottoms: []string{"data"}, Tops: []string{"ip"}},
+		{Layer: layers.NewSoftmaxWithLoss("loss"), Bottoms: []string{"ip", "label"}, Tops: []string{"loss"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// microSource is a 4-pixel 2-class toy dataset for poisoning tests.
+type microSource struct{}
+
+func (microSource) Len() int           { return 4 }
+func (microSource) SampleShape() []int { return []int{1, 2, 2} }
+func (microSource) Classes() int       { return 2 }
+func (microSource) Read(i int, out []float32) int {
+	for j := range out {
+		out[j] = float32(j)
+	}
+	return i % 2
+}
+
+func TestGradPoisonerFiresOnceAtArmedIteration(t *testing.T) {
+	n := tinyTrainNet(t)
+	g1, err := New(3).GradPoisoner(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(3).GradPoisoner(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.param != g2.param || g1.index != g2.index {
+		t.Fatalf("same seed armed different targets: (%d,%d) vs (%d,%d)",
+			g1.param, g1.index, g2.param, g2.index)
+	}
+	if g1.Apply(4) || g1.Fired {
+		t.Fatal("poison fired before its iteration")
+	}
+	if !g1.Apply(5) || !g1.Fired {
+		t.Fatal("poison did not fire at its iteration")
+	}
+	v := n.Params()[g1.param].Diff()[g1.index]
+	if !math.IsNaN(float64(v)) {
+		t.Fatalf("target gradient = %v, want NaN", v)
+	}
+}
+
+func TestGradPoisonerHookComposes(t *testing.T) {
+	n := tinyTrainNet(t)
+	g, err := New(9).GradPoisoner(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNaN bool
+	downstream := func(iter int, loss float64) solver.PreUpdateAction {
+		x := n.Params()[g.param].Diff()[g.index]
+		if x != x {
+			sawNaN = true
+			return solver.ActHalt
+		}
+		return solver.ActProceed
+	}
+	hook := g.Hook(downstream)
+	if act := hook(1, 0.5); act != solver.ActProceed {
+		t.Fatalf("pre-poison iteration returned %v", act)
+	}
+	if act := hook(2, 0.5); act != solver.ActHalt {
+		t.Fatalf("poisoned iteration returned %v: downstream must see the NaN", act)
+	}
+	if !sawNaN {
+		t.Fatal("downstream hook ran before the poison landed")
+	}
+	// nil downstream: poison still lands, training proceeds.
+	g2, err := New(9).GradPoisoner(tinyTrainNet(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act := g2.Hook(nil)(0, 0.5); act != solver.ActProceed {
+		t.Fatalf("nil downstream returned %v", act)
+	}
+	if !g2.Fired {
+		t.Fatal("nil downstream swallowed the poison")
+	}
+}
+
+func TestFlakyOpenerFailsExactlyNTimes(t *testing.T) {
+	content := make([]byte, 10000)
+	path := writeTemp(t, content)
+	fo := New(11).FlakyOpener(2)
+	readAll := func() error {
+		rc, err := fo.Open(path)
+		if err != nil {
+			return err
+		}
+		_, err = io.ReadAll(rc)
+		rc.Close()
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := readAll(); !errors.Is(err, ErrTransient) {
+			t.Fatalf("attempt %d: err = %v, want transient", i+1, err)
+		}
+	}
+	if err := readAll(); err != nil {
+		t.Fatalf("attempt 3 should succeed: %v", err)
+	}
+	if fo.Attempts(path) != 3 {
+		t.Fatalf("attempts = %d", fo.Attempts(path))
+	}
+	// Determinism: a second injector with the same seed fails the same way
+	// (same open-vs-midread choices, same byte budgets).
+	fo2 := New(11).FlakyOpener(2)
+	for i := 0; i < 2; i++ {
+		rc, err := fo2.Open(path)
+		if err != nil {
+			continue
+		}
+		io.ReadAll(rc)
+		rc.Close()
+	}
+}
+
+func TestLoaderRetryAbsorbsTransientFailures(t *testing.T) {
+	// Two MNIST files (images + labels), each failing twice before
+	// succeeding: DefaultRetry's 3 attempts must absorb that.
+	dir := t.TempDir()
+	imgPath, lblPath := writeMNIST(t, dir, 4)
+	fo := New(21).FlakyOpener(2)
+	restore := data.SetOpenFile(fo.Open)
+	defer restore()
+	old := data.DefaultRetry
+	data.DefaultRetry = data.RetryPolicy{Attempts: 3, Backoff: time.Microsecond}
+	defer func() { data.DefaultRetry = old }()
+
+	ds, err := data.LoadMNISTFiles(imgPath, lblPath)
+	if err != nil {
+		t.Fatalf("retry failed to absorb 2 transient faults: %v", err)
+	}
+	if ds.Len() != 4 {
+		t.Fatalf("dataset has %d samples, want 4", ds.Len())
+	}
+	if got := fo.Attempts(imgPath); got != 3 {
+		t.Fatalf("image file opened %d times, want 3", got)
+	}
+}
+
+func TestLoaderRetryGivesUpBeyondBudget(t *testing.T) {
+	dir := t.TempDir()
+	imgPath, lblPath := writeMNIST(t, dir, 2)
+	fo := New(22).FlakyOpener(5) // more failures than attempts
+	restore := data.SetOpenFile(fo.Open)
+	defer restore()
+	old := data.DefaultRetry
+	data.DefaultRetry = data.RetryPolicy{Attempts: 3, Backoff: time.Microsecond}
+	defer func() { data.DefaultRetry = old }()
+
+	if _, err := data.LoadMNISTFiles(imgPath, lblPath); err == nil {
+		t.Fatal("5 consecutive faults absorbed by a 3-attempt budget")
+	} else if !errors.Is(err, ErrTransient) {
+		t.Fatalf("error does not wrap the transient cause: %v", err)
+	}
+}
+
+// writeMNIST writes a minimal valid IDX image/label pair with n samples.
+func writeMNIST(t *testing.T, dir string, n int) (imgPath, lblPath string) {
+	t.Helper()
+	img := []byte{0, 0, 8, 3, 0, 0, 0, byte(n), 0, 0, 0, 28, 0, 0, 0, 28}
+	img = append(img, make([]byte, n*28*28)...)
+	lbl := []byte{0, 0, 8, 1, 0, 0, 0, byte(n)}
+	for i := 0; i < n; i++ {
+		lbl = append(lbl, byte(i%10))
+	}
+	imgPath = filepath.Join(dir, "images.idx")
+	lblPath = filepath.Join(dir, "labels.idx")
+	if err := os.WriteFile(imgPath, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lblPath, lbl, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return imgPath, lblPath
+}

@@ -1,0 +1,129 @@
+package faultinject_test
+
+import (
+	"testing"
+
+	"coarsegrain/internal/data"
+	"coarsegrain/internal/faultinject"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/snapshot"
+	"coarsegrain/internal/solver"
+	"coarsegrain/internal/zoo"
+)
+
+// mkLeNet builds the same seeded LeNet solver every time it is called —
+// the "restart the training binary" primitive of the recovery drill. The
+// dataset is exactly one batch long, so the data cursor is at the start of
+// a batch at every iteration boundary and a restored run sees exactly the
+// batches the uninterrupted run saw.
+func mkLeNet(t *testing.T) *solver.Solver {
+	t.Helper()
+	src := data.NewSyntheticMNIST(8, 77)
+	specs, err := zoo.LeNet(src, zoo.Options{BatchSize: 8, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.New(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := solver.New(zoo.LeNetSolver(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCrashRecoveryEndToEnd is the acceptance scenario of ISSUE 4: a
+// training run crashes mid-interval AND its newest checkpoint is corrupted
+// on disk; recovery must fall back to the last valid checkpoint and, from
+// there, reproduce the uninterrupted run's loss trajectory bit for bit.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	const (
+		total     = 30
+		ckptEvery = 5
+		crashAt   = 17
+	)
+
+	// Run A: the uninterrupted reference.
+	ref := mkLeNet(t)
+	refLosses := ref.Step(total)
+
+	// Run B, phase 1: checkpoint every ckptEvery iterations, crash at 17.
+	dir := t.TempDir()
+	b1 := mkLeNet(t)
+	for b1.Iter() < crashAt {
+		step := min(ckptEvery-b1.Iter()%ckptEvery, crashAt-b1.Iter())
+		b1.Step(step)
+		if b1.Iter()%ckptEvery == 0 {
+			if _, err := snapshot.SaveCheckpoint(dir, b1, 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// "Crash": b1 is abandoned; iterations 15..17 are lost.
+
+	// Bit-rot the newest checkpoint (ckpt-15) with a seeded flip.
+	newest := snapshot.CheckpointPath(dir, 15)
+	off, err := faultinject.New(1).CorruptFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flipped byte %d of %s", off, newest)
+
+	// Run B, phase 2: a fresh process resumes. The corrupt ckpt-15 must be
+	// skipped, ckpt-10 loaded.
+	b2 := mkLeNet(t)
+	path, skipped, err := snapshot.LoadLatestValid(dir, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != snapshot.CheckpointPath(dir, 10) {
+		t.Fatalf("resumed from %q, want the iteration-10 checkpoint", path)
+	}
+	if len(skipped) != 1 || skipped[0] != newest {
+		t.Fatalf("skipped = %v, want just the corrupted newest", skipped)
+	}
+	if b2.Iter() != 10 {
+		t.Fatalf("resumed iteration = %d, want 10", b2.Iter())
+	}
+
+	// From iteration 10 on, the recovered run must match run A exactly.
+	resumed := b2.Step(total - 10)
+	for i, loss := range resumed {
+		if want := refLosses[10+i]; loss != want {
+			t.Fatalf("recovered trajectory diverged at iteration %d: %v vs %v",
+				10+i, loss, want)
+		}
+	}
+	if resumed[len(resumed)-1] != refLosses[total-1] {
+		t.Fatal("final losses differ")
+	}
+}
+
+// TestRecoverySurvivesTornNewest runs the same drill with the torn-write
+// fault model: the newest checkpoint is a strict prefix of itself, as a
+// crash during a non-atomic save would leave it.
+func TestRecoverySurvivesTornNewest(t *testing.T) {
+	dir := t.TempDir()
+	s := mkLeNet(t)
+	for i := 0; i < 3; i++ {
+		s.Step(2)
+		if _, err := snapshot.SaveCheckpoint(dir, s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := faultinject.New(2).TruncateFile(snapshot.CheckpointPath(dir, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tore checkpoint to %d bytes", n)
+	s2 := mkLeNet(t)
+	path, _, err := snapshot.LoadLatestValid(dir, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != snapshot.CheckpointPath(dir, 4) || s2.Iter() != 4 {
+		t.Fatalf("resumed %q at iter %d, want the iteration-4 checkpoint", path, s2.Iter())
+	}
+}

@@ -27,6 +27,10 @@ func TestHotAlloc(t *testing.T) {
 	lint.Fixture(t, HotAlloc, "hotalloc")
 }
 
+func TestHotAllocGuardScans(t *testing.T) {
+	lint.Fixture(t, HotAlloc, "guardhot")
+}
+
 func TestTraceNilCallSites(t *testing.T) {
 	lint.Fixture(t, TraceNil, "tracenil")
 }

@@ -18,12 +18,19 @@ import (
 // fmt.* calls inside any loop of a hot function (closures included, so
 // worksharing bodies are covered).
 //
+// The training health monitor's scan path is hot for the same reason:
+// guard.Monitor's Check/scan methods run from the solver's pre-update
+// hook once per iteration, so methods named Check*/scan* on a type named
+// Monitor in a package named guard are held to the same standard
+// (identified structurally, like the other analyzers, so the fixture
+// package stands in for the real internal/guard).
+//
 // Deliberate allocations (e.g. one-time growth amortized across batches)
 // are waived with `//dnnlint:ignore hotalloc <why>`.
 var HotAlloc = &lint.Analyzer{
 	Name: "hotalloc",
 	Doc: "flags make/append/new and fmt.* calls inside loops of Forward*/Backward*/GEMM " +
-		"functions (allocation in the per-iteration hot path)",
+		"functions and guard.Monitor Check*/scan* methods (allocation in the per-iteration hot path)",
 	Run: runHotAlloc,
 }
 
@@ -42,11 +49,37 @@ func hotFunc(name string) bool {
 		strings.Contains(lower, "gemm")
 }
 
+// isGuardScan reports whether fd is a per-iteration guard scan: a method
+// named Check* or scan* on (a pointer to) a type named Monitor in a
+// package named guard. These run from the solver's pre-update hook every
+// iteration, so their loops are as hot as a Backward pass.
+func isGuardScan(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	lower := strings.ToLower(fd.Name.Name)
+	if !strings.HasPrefix(lower, "check") && !strings.HasPrefix(lower, "scan") {
+		return false
+	}
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), "guard", "Monitor")
+}
+
 func runHotAlloc(pass *lint.Pass) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !hotFunc(fd.Name.Name) {
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hotFunc(fd.Name.Name) && !isGuardScan(pass, fd) {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {

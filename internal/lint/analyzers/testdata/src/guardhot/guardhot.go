@@ -1,0 +1,51 @@
+// Package guard (fixture) exercises hotalloc's guard rule: Check*/scan*
+// methods on guard.Monitor run once per training iteration from the
+// solver's pre-update hook, so allocation inside their loops is flagged
+// exactly like a Forward/Backward pass — and methods outside that shape
+// (other names, other receivers) stay exempt.
+package guard
+
+// Monitor mirrors internal/guard.Monitor structurally.
+type Monitor struct {
+	sumsq  []float64
+	cur    []float32
+	report []string
+}
+
+// Check is the per-iteration entry point: hot.
+func (m *Monitor) Check(iter int, loss float64) int {
+	bad := 0
+	for i := range m.cur {
+		tmp := make([]float64, 1) // want `make in a loop of hot function Check`
+		tmp[0] = float64(m.cur[i])
+		if tmp[0] != tmp[0] {
+			bad++
+		}
+	}
+	return bad
+}
+
+// scanRange is a scan helper: hot, including closures in its loops.
+func (m *Monitor) scanRange(lo, hi int) {
+	for j := lo; j < hi; j++ {
+		m.report = append(m.report, "x") // want `append in a loop of hot function scanRange`
+	}
+}
+
+// Report is not a Check*/scan* method: its loops may allocate freely.
+func (m *Monitor) Report() []string {
+	var out []string
+	for range m.sumsq {
+		out = append(out, "line")
+	}
+	return out
+}
+
+// reporter is not a Monitor: a Check method on it is not guard-hot.
+type reporter struct{ lines []int }
+
+func (r *reporter) Check() {
+	for i := 0; i < 3; i++ {
+		r.lines = append(r.lines, i)
+	}
+}

@@ -1,0 +1,139 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"coarsegrain/internal/solver"
+)
+
+// Checkpoint files are named ckpt-<iteration>.cgdnn so the training
+// iteration a file belongs to is recoverable from the directory listing
+// alone; zero-padding keeps lexical and numeric order identical.
+const (
+	ckptPrefix = "ckpt-"
+	ckptExt    = ".cgdnn"
+)
+
+// CheckpointPath returns the canonical file name of the checkpoint for
+// the given iteration inside dir.
+func CheckpointPath(dir string, iter int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", ckptPrefix, iter, ckptExt))
+}
+
+// checkpointIter parses the iteration out of a checkpoint base name, or
+// returns false for files that are not checkpoints (temp files, foreign
+// files sharing the directory).
+func checkpointIter(base string) (int, bool) {
+	if !strings.HasPrefix(base, ckptPrefix) || !strings.HasSuffix(base, ckptExt) {
+		return 0, false
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(base, ckptPrefix), ckptExt)
+	it, err := strconv.Atoi(num)
+	if err != nil || it < 0 {
+		return 0, false
+	}
+	return it, true
+}
+
+// Checkpoints lists the checkpoint files in dir, sorted by ascending
+// iteration. Non-checkpoint files are ignored. A missing directory is
+// reported as an error.
+func Checkpoints(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type ck struct {
+		path string
+		iter int
+	}
+	var cks []ck
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if it, ok := checkpointIter(e.Name()); ok {
+			cks = append(cks, ck{path: filepath.Join(dir, e.Name()), iter: it})
+		}
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].iter < cks[j].iter })
+	paths := make([]string, len(cks))
+	for i, c := range cks {
+		paths[i] = c.path
+	}
+	return paths, nil
+}
+
+// SaveCheckpoint atomically writes the solver's full state to
+// CheckpointPath(dir, s.Iter()), creating dir if needed, then applies the
+// retention policy: only the newest keep checkpoints survive (keep <= 0
+// keeps everything). Returns the path written.
+func SaveCheckpoint(dir string, s *solver.Solver, keep int) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := CheckpointPath(dir, s.Iter())
+	if err := SaveSolverFile(path, s); err != nil {
+		return "", err
+	}
+	if keep > 0 {
+		if err := PruneCheckpoints(dir, keep); err != nil {
+			return path, err
+		}
+	}
+	return path, nil
+}
+
+// PruneCheckpoints removes all but the newest keep checkpoints from dir.
+func PruneCheckpoints(dir string, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	paths, err := Checkpoints(dir)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths[:max(0, len(paths)-keep)] {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadLatestValid restores the solver from the newest checkpoint in dir
+// that passes the format's validation (magic, framing, per-section CRC32,
+// architecture match), falling back through older checkpoints when the
+// newest is truncated or corrupt — the crash-recovery entry point: a run
+// that died mid-save, or a checkpoint later damaged on disk, never blocks
+// resumption as long as one valid checkpoint survives.
+//
+// Returns the path actually loaded and the invalid paths skipped on the
+// way (newest first). When no checkpoint is valid, the error wraps the
+// newest checkpoint's failure.
+func LoadLatestValid(dir string, s *solver.Solver) (path string, skipped []string, err error) {
+	paths, err := Checkpoints(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(paths) == 0 {
+		return "", nil, fmt.Errorf("snapshot: no checkpoints in %s", dir)
+	}
+	var firstErr error
+	for i := len(paths) - 1; i >= 0; i-- {
+		lerr := LoadSolverFile(paths[i], s)
+		if lerr == nil {
+			return paths[i], skipped, nil
+		}
+		if firstErr == nil {
+			firstErr = lerr
+		}
+		skipped = append(skipped, paths[i])
+	}
+	return "", skipped, fmt.Errorf("snapshot: no valid checkpoint in %s (newest: %w)", dir, firstErr)
+}

@@ -1,0 +1,157 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coarsegrain/internal/solver"
+	"coarsegrain/internal/zoo"
+)
+
+func tinySolver(t *testing.T, seed uint64) *solver.Solver {
+	t.Helper()
+	s, err := solver.New(zoo.LeNetSolver(), tinyNet(t, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckpointPathRoundTrips(t *testing.T) {
+	p := CheckpointPath("d", 1234)
+	if p != filepath.Join("d", "ckpt-00001234.cgdnn") {
+		t.Fatalf("unexpected checkpoint path %q", p)
+	}
+	it, ok := checkpointIter(filepath.Base(p))
+	if !ok || it != 1234 {
+		t.Fatalf("checkpointIter(%q) = %d, %v", filepath.Base(p), it, ok)
+	}
+	for _, bad := range []string{
+		"model.cgdnn", "ckpt-.cgdnn", "ckpt-12.bin", "ckpt--1.cgdnn",
+		".ckpt-00000001.cgdnn.tmp-123", "ckpt-xx.cgdnn",
+	} {
+		if _, ok := checkpointIter(bad); ok {
+			t.Errorf("%q misparsed as a checkpoint", bad)
+		}
+	}
+}
+
+func TestSaveCheckpointRetention(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts") // SaveCheckpoint must create it
+	s := tinySolver(t, 1)
+	for i := 0; i < 5; i++ {
+		s.Step(1)
+		if _, err := SaveCheckpoint(dir, s, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := Checkpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("retention kept %d checkpoints, want 3: %v", len(paths), paths)
+	}
+	// The survivors are the NEWEST three, ascending.
+	for i, want := range []int{3, 4, 5} {
+		if paths[i] != CheckpointPath(dir, want) {
+			t.Fatalf("survivor %d = %q, want iteration %d", i, paths[i], want)
+		}
+	}
+}
+
+func TestCheckpointsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := tinySolver(t, 2)
+	s.Step(1)
+	if _, err := SaveCheckpoint(dir, s, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"notes.txt", "model.cgdnn", ".ckpt-00000009.cgdnn.tmp-1"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "ckpt-00000002.cgdnn"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := Checkpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != CheckpointPath(dir, 1) {
+		t.Fatalf("foreign files leaked into listing: %v", paths)
+	}
+}
+
+func TestLoadLatestValidFallsBackPastCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := tinySolver(t, 3)
+	for i := 0; i < 3; i++ {
+		s.Step(1)
+		if _, err := SaveCheckpoint(dir, s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Damage the two newest in different ways: bit rot and a torn write.
+	newest := CheckpointPath(dir, 3)
+	f, err := os.OpenFile(newest, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xAA}, 40); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := os.Truncate(CheckpointPath(dir, 2), 17); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := tinySolver(t, 4)
+	path, skipped, err := LoadLatestValid(dir, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != CheckpointPath(dir, 1) {
+		t.Fatalf("loaded %q, want the oldest (only valid) checkpoint", path)
+	}
+	if len(skipped) != 2 || skipped[0] != CheckpointPath(dir, 3) || skipped[1] != CheckpointPath(dir, 2) {
+		t.Fatalf("skipped = %v, want newest-first damaged pair", skipped)
+	}
+	if s2.Iter() != 1 {
+		t.Fatalf("restored iteration %d, want 1", s2.Iter())
+	}
+}
+
+func TestLoadLatestValidAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := tinySolver(t, 5)
+	s.Step(1)
+	if _, err := SaveCheckpoint(dir, s, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(CheckpointPath(dir, 1), 3); err != nil {
+		t.Fatal(err)
+	}
+	_, skipped, err := LoadLatestValid(dir, tinySolver(t, 6))
+	if err == nil {
+		t.Fatal("all-corrupt directory reported success")
+	}
+	if !strings.Contains(err.Error(), "no valid checkpoint") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if len(skipped) != 1 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+}
+
+func TestLoadLatestValidEmptyDir(t *testing.T) {
+	if _, _, err := LoadLatestValid(t.TempDir(), tinySolver(t, 7)); err == nil {
+		t.Fatal("empty directory reported success")
+	}
+	if _, _, err := LoadLatestValid(filepath.Join(t.TempDir(), "missing"), tinySolver(t, 8)); err == nil {
+		t.Fatal("missing directory reported success")
+	}
+}

@@ -7,20 +7,33 @@
 //
 //	magic "CGDNN" | version u8 | section count u32
 //	per section: name (u16 len + bytes) | rank u8 | dims (u32 each) |
-//	             float32 payload (little endian)
+//	             float32 payload (little endian) | crc32 u32 (v2 only)
+//
+// Version 2 (the current write format) appends an IEEE CRC32 of each
+// section's serialized bytes, so any single-byte corruption of a section
+// is detected at load time instead of silently producing garbage
+// coefficients. Version 1 files (no checksums) remain readable.
 //
 // Network parameters are stored by their ParamNames; solver snapshots
 // additionally store the iteration counter and per-parameter history
 // (momentum / accumulated squared gradients).
+//
+// All file-writing entry points are crash-consistent: they write to a
+// temporary file in the destination directory, fsync it, and atomically
+// rename it over the target, so a crash mid-save can never leave a torn
+// snapshot under the final name (see ROBUSTNESS.md).
 package snapshot
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"coarsegrain/internal/blob"
 	"coarsegrain/internal/net"
@@ -29,13 +42,69 @@ import (
 
 var magic = [5]byte{'C', 'G', 'D', 'N', 'N'}
 
-const version = 1
+const (
+	version1 = 1 // no per-section checksums
+	version2 = 2 // per-section CRC32 trailer
+	// version is the format written by this package.
+	version = version2
+)
 
 // section is one named tensor in the file.
 type section struct {
 	name  string
 	shape []int
 	data  []float32
+}
+
+// crcWriter tees everything written through it into an IEEE CRC32.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc.Write(p) // never returns an error
+	return cw.w.Write(p)
+}
+
+// crcReader tees everything read through it into an IEEE CRC32.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc.Write(p[:n])
+	return n, err
+}
+
+// writeSectionBody serializes one section (everything but the checksum).
+func writeSectionBody(w io.Writer, s section) error {
+	if len(s.name) > math.MaxUint16 {
+		return fmt.Errorf("snapshot: section name too long (%d bytes)", len(s.name))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s.name))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, s.name); err != nil {
+		return err
+	}
+	if len(s.shape) > 255 {
+		return fmt.Errorf("snapshot: rank %d too large", len(s.shape))
+	}
+	if _, err := w.Write([]byte{byte(len(s.shape))}); err != nil {
+		return err
+	}
+	for _, d := range s.shape {
+		if d < 0 || d > math.MaxUint32 {
+			return fmt.Errorf("snapshot: dimension %d out of range", d)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, s.data)
 }
 
 func writeSections(w io.Writer, secs []section) error {
@@ -50,34 +119,50 @@ func writeSections(w io.Writer, secs []section) error {
 		return err
 	}
 	for _, s := range secs {
-		if len(s.name) > math.MaxUint16 {
-			return fmt.Errorf("snapshot: section name too long (%d bytes)", len(s.name))
-		}
-		if err := binary.Write(bw, binary.LittleEndian, uint16(len(s.name))); err != nil {
+		cw := &crcWriter{w: bw, crc: crc32.NewIEEE()}
+		if err := writeSectionBody(cw, s); err != nil {
 			return err
 		}
-		if _, err := bw.WriteString(s.name); err != nil {
-			return err
-		}
-		if len(s.shape) > 255 {
-			return fmt.Errorf("snapshot: rank %d too large", len(s.shape))
-		}
-		if err := bw.WriteByte(byte(len(s.shape))); err != nil {
-			return err
-		}
-		for _, d := range s.shape {
-			if d < 0 || d > math.MaxUint32 {
-				return fmt.Errorf("snapshot: dimension %d out of range", d)
-			}
-			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
-				return err
-			}
-		}
-		if err := binary.Write(bw, binary.LittleEndian, s.data); err != nil {
+		if err := binary.Write(bw, binary.LittleEndian, cw.crc.Sum32()); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// readSectionBody parses one section (everything but the checksum) from r.
+func readSectionBody(r io.Reader) (section, error) {
+	var s section
+	var nameLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return s, err
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return s, err
+	}
+	var rank [1]byte
+	if _, err := io.ReadFull(r, rank[:]); err != nil {
+		return s, err
+	}
+	shape := make([]int, rank[0])
+	total := 1
+	for j := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return s, err
+		}
+		if d > 1<<28 {
+			return s, fmt.Errorf("snapshot: dimension %d too large", d)
+		}
+		shape[j] = int(d)
+		total *= int(d)
+	}
+	data := make([]float32, total)
+	if err := binary.Read(r, binary.LittleEndian, data); err != nil {
+		return s, fmt.Errorf("snapshot: reading %q payload: %w", nameBuf, err)
+	}
+	return section{name: string(nameBuf), shape: shape, data: data}, nil
 }
 
 func readSections(r io.Reader) ([]section, error) {
@@ -93,7 +178,7 @@ func readSections(r io.Reader) ([]section, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v != version {
+	if v != version1 && v != version2 {
 		return nil, fmt.Errorf("snapshot: unsupported version %d", v)
 	}
 	var count uint32
@@ -105,38 +190,77 @@ func readSections(r io.Reader) ([]section, error) {
 	}
 	secs := make([]section, 0, count)
 	for i := uint32(0); i < count; i++ {
-		var nameLen uint16
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return nil, err
+		if v == version1 {
+			s, err := readSectionBody(br)
+			if err != nil {
+				return nil, err
+			}
+			secs = append(secs, s)
+			continue
 		}
-		nameBuf := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, nameBuf); err != nil {
-			return nil, err
-		}
-		rank, err := br.ReadByte()
+		cr := &crcReader{r: br, crc: crc32.NewIEEE()}
+		s, err := readSectionBody(cr)
 		if err != nil {
 			return nil, err
 		}
-		shape := make([]int, rank)
-		total := 1
-		for j := range shape {
-			var d uint32
-			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-				return nil, err
-			}
-			if d > 1<<28 {
-				return nil, fmt.Errorf("snapshot: dimension %d too large", d)
-			}
-			shape[j] = int(d)
-			total *= int(d)
+		sum := cr.crc.Sum32()
+		var stored uint32
+		if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+			return nil, fmt.Errorf("snapshot: reading %q checksum: %w", s.name, err)
 		}
-		data := make([]float32, total)
-		if err := binary.Read(br, binary.LittleEndian, data); err != nil {
-			return nil, fmt.Errorf("snapshot: reading %q payload: %w", nameBuf, err)
+		if sum != stored {
+			return nil, fmt.Errorf("snapshot: section %q checksum mismatch (stored %08x, computed %08x): file is corrupt",
+				s.name, stored, sum)
 		}
-		secs = append(secs, section{name: string(nameBuf), shape: shape, data: data})
+		secs = append(secs, s)
 	}
 	return secs, nil
+}
+
+// writeFileAtomic writes via write() to a temporary file in path's
+// directory, fsyncs it, and renames it over path, so that path either
+// keeps its previous contents or holds the complete new snapshot — never
+// a torn prefix. The directory is fsynced best-effort afterwards so the
+// rename itself survives a crash.
+func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Best-effort: some filesystems (and non-Unix platforms) reject
+// fsync on directories, and the rename is still atomic without it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // Stater is implemented by layers carrying non-learnable state that must
@@ -222,17 +346,10 @@ func LoadNet(r io.Reader, n *net.Net) error {
 	return restoreState(n, byName)
 }
 
-// SaveNetFile / LoadNetFile are path convenience wrappers.
+// SaveNetFile atomically writes the network's parameters to path
+// (temp + fsync + rename; see writeFileAtomic).
 func SaveNetFile(path string, n *net.Net) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := SaveNet(f, n); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return writeFileAtomic(path, func(w io.Writer) error { return SaveNet(w, n) })
 }
 
 // LoadNetFile restores parameters from a file written by SaveNetFile.
@@ -281,6 +398,9 @@ func SaveSolver(w io.Writer, s *solver.Solver) error {
 
 // LoadSolver restores a snapshot written by SaveSolver into a solver built
 // over an architecturally identical network.
+//
+// The whole file is parsed and checksum-validated before any solver state
+// is touched, so a corrupt snapshot leaves the solver unmodified.
 func LoadSolver(r io.Reader, s *solver.Solver) error {
 	secs, err := readSections(r)
 	if err != nil {
@@ -329,17 +449,10 @@ func LoadSolver(r io.Reader, s *solver.Solver) error {
 	return restoreState(n, byName)
 }
 
-// SaveSolverFile / LoadSolverFile are path convenience wrappers.
+// SaveSolverFile atomically writes solver state to path
+// (temp + fsync + rename; see writeFileAtomic).
 func SaveSolverFile(path string, s *solver.Solver) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := SaveSolver(f, s); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return writeFileAtomic(path, func(w io.Writer) error { return SaveSolver(w, s) })
 }
 
 // LoadSolverFile restores solver state from a file written by

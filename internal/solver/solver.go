@@ -99,7 +99,46 @@ type Solver struct {
 	// tracer, when attached, wraps every Step iteration in an iteration
 	// span and the update rule in an update span.
 	tracer *trace.Tracer
+	// preUpdate, when set, is consulted after every forward/backward pass
+	// and before the parameter update — the hook the training health
+	// monitor (internal/guard) uses to veto an update computed from a
+	// poisoned gradient. Nil means always proceed.
+	preUpdate PreUpdateHook
 }
+
+// PreUpdateAction is a pre-update hook's verdict on the just-computed
+// gradient.
+type PreUpdateAction int
+
+const (
+	// ActProceed applies the update normally.
+	ActProceed PreUpdateAction = iota
+	// ActSkip discards this batch's gradient: no parameter update is
+	// applied, but the iteration counter still advances (the batch is
+	// skipped, not retried).
+	ActSkip
+	// ActRollback signals that the hook has already restored the solver
+	// to an earlier state (parameters, history and iteration counter, as
+	// a snapshot restore does): the update is discarded and the iteration
+	// counter is left exactly as the hook set it.
+	ActRollback
+	// ActHalt stops Step immediately; the losses collected so far are
+	// returned.
+	ActHalt
+)
+
+// PreUpdateHook inspects the state after forward/backward at iteration
+// iter (loss is the batch loss) and decides whether the update proceeds.
+type PreUpdateHook func(iter int, loss float64) PreUpdateAction
+
+// SetPreUpdate installs the pre-update hook (nil removes it). The hook
+// runs on the driver goroutine between parallel regions, so it may touch
+// parameters, gradients and solver state freely.
+func (s *Solver) SetPreUpdate(h PreUpdateHook) { s.preUpdate = h }
+
+// ScaleLR multiplies the base learning rate by f — the guard's rollback
+// backoff uses this to re-approach a divergence point more conservatively.
+func (s *Solver) ScaleLR(f float32) { s.cfg.BaseLR *= f }
 
 // New creates a solver for the given network.
 func New(cfg Config, n *net.Net) (*Solver, error) {
@@ -176,25 +215,42 @@ func (s *Solver) Step(iters int) []float64 {
 		}
 		s.network.ZeroParamDiffs()
 		loss := s.network.ForwardBackward()
-		var updStart time.Time
-		if tr.Enabled() {
-			updStart = time.Now()
+		act := ActProceed
+		if s.preUpdate != nil {
+			act = s.preUpdate(s.iter, loss)
 		}
-		s.applyUpdate()
+		iterBefore := s.iter
+		switch act {
+		case ActProceed:
+			var updStart time.Time
+			if tr.Enabled() {
+				updStart = time.Now()
+			}
+			s.applyUpdate()
+			if tr.Enabled() {
+				tr.Record(trace.Span{
+					Name: "update", Phase: trace.PhaseUpdate, Rank: trace.RankDriver, Band: -1,
+					Start: tr.Stamp(updStart), Dur: time.Since(updStart),
+				})
+			}
+			s.iter++
+		case ActSkip:
+			s.iter++
+		case ActRollback:
+			// The hook restored an earlier solver state, including the
+			// iteration counter; leave everything as it set it.
+		}
 		if tr.Enabled() {
-			now := time.Now()
-			tr.Record(trace.Span{
-				Name: "update", Phase: trace.PhaseUpdate, Rank: trace.RankDriver, Band: -1,
-				Start: tr.Stamp(updStart), Dur: now.Sub(updStart),
-			})
 			tr.Record(trace.Span{
 				Name: "iteration", Phase: trace.PhaseIteration, Rank: trace.RankDriver, Band: -1,
-				Lo: s.iter, Hi: s.iter + 1,
-				Start: tr.Stamp(iterStart), Dur: now.Sub(iterStart),
+				Lo: iterBefore, Hi: iterBefore + 1,
+				Start: tr.Stamp(iterStart), Dur: time.Since(iterStart),
 			})
 		}
-		s.iter++
 		losses = append(losses, loss)
+		if act == ActHalt {
+			return losses
+		}
 	}
 	return losses
 }

@@ -58,6 +58,10 @@ const (
 	// PhaseRegion is a generic parallel region with no worksharing loop
 	// (par.Pool.Region), e.g. the coarse backward's privatize+compute body.
 	PhaseRegion
+	// PhaseGuard is a training-health check (internal/guard): the NaN/Inf
+	// and gradient-norm scan plus the recovery decision it produced, so
+	// skips and rollbacks are visible on the training timeline.
+	PhaseGuard
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +77,8 @@ func (p Phase) String() string {
 		return "update"
 	case PhaseIteration:
 		return "iteration"
+	case PhaseGuard:
+		return "guard"
 	default:
 		return "region"
 	}
@@ -91,6 +97,8 @@ func (p Phase) short() string {
 		return "upd"
 	case PhaseIteration:
 		return "iter"
+	case PhaseGuard:
+		return "guard"
 	default:
 		return "region"
 	}

@@ -3,9 +3,11 @@
 # determinism/parallelism contract linter, see LINTING.md), the full test
 # suite (including Example tests), race-detector passes over the parallel
 # substrate (the BLAS band kernels, the worker pool, the span tracer, the
-# instrumented net loop and the coarse engine), and a tracing smoke run
-# that must produce valid Chrome trace-event JSON. Run from anywhere
-# inside the repo.
+# instrumented net loop and the coarse engine), a tracing smoke run
+# that must produce valid Chrome trace-event JSON, and the robustness
+# drills (ROBUSTNESS.md): the fault-injection suite, a seeded
+# corrupt-checkpoint recovery smoke and a guard NaN-poison smoke. Run
+# from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,13 +40,33 @@ go test ./...
 echo "== go test -run Example (doc examples) =="
 go test -run Example ./...
 
-echo "== go test -race (blas, par, trace, net, core) =="
-go test -race -count=1 ./internal/blas ./internal/par ./internal/trace ./internal/net ./internal/core
+echo "== go test -race (blas, par, trace, net, core, guard, faultinject) =="
+go test -race -count=1 ./internal/blas ./internal/par ./internal/trace ./internal/net ./internal/core \
+	./internal/guard ./internal/faultinject
+
+echo "== fault-injection suite (deterministic drills + e2e crash recovery) =="
+go test -count=1 ./internal/faultinject ./internal/snapshot
 
 echo "== trace smoke: dnnbench -trace | tracecheck =="
 go build -o "$tmpdir/dnnbench" ./cmd/dnnbench
 go build -o "$tmpdir/tracecheck" ./cmd/tracecheck
 "$tmpdir/dnnbench" -trace "$tmpdir/out.json" -net mnist -threads 2 -iters 2 -batch 4 -samples 8 >/dev/null
 "$tmpdir/tracecheck" "$tmpdir/out.json"
+
+echo "== recovery smoke: corrupt newest checkpoint, resume must fall back =="
+go build -o "$tmpdir/dnntrain" ./cmd/dnntrain
+"$tmpdir/dnntrain" -zoo lenet -iters 20 -snapshot-every 10 -snapshot-dir "$tmpdir/ck" \
+	-samples 8 -batch 8 -display 10 -workers 2 >/dev/null
+out="$("$tmpdir/dnntrain" -zoo lenet -resume "$tmpdir/ck" -inject-corrupt-resume -inject-seed 7 \
+	-iters 10 -samples 8 -batch 8 -display 10 -workers 2)"
+echo "$out" | grep -q "falling back" || { echo "FAIL: corrupt checkpoint not skipped" >&2; exit 1; }
+echo "$out" | grep -q "resumed from .*ckpt-00000010" || { echo "FAIL: did not resume from the surviving checkpoint" >&2; exit 1; }
+echo "fell back past the corrupted checkpoint, as required"
+
+echo "== guard smoke: injected gradient NaN must be caught and skipped =="
+"$tmpdir/dnntrain" -zoo lenet -iters 10 -inject-grad-nan 5 -guard-policy skip \
+	-samples 8 -batch 8 -display 10 -workers 2 |
+	grep -q "1 faults (1 skipped" || { echo "FAIL: guard missed the injected NaN" >&2; exit 1; }
+echo "injected NaN caught and skipped, as required"
 
 echo "OK"
