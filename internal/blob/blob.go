@@ -293,6 +293,25 @@ func (b *Blob) AccumulateDiffFrom(o *Blob) {
 	}
 }
 
+// AccumulateDiffRange adds o's gradients over the element range [lo, hi)
+// into b's: b.diff[lo:hi] += o.diff[lo:hi]. This is the element-sliced
+// merge step of the parallel ordered reduction (par.Pool.OrderedSlices):
+// each worker owns a disjoint range, so concurrent calls on distinct
+// ranges are race-free, and per-element accumulation order is unchanged
+// from AccumulateDiffFrom.
+func (b *Blob) AccumulateDiffRange(o *Blob, lo, hi int) {
+	if len(b.diff) != len(o.diff) {
+		panic("blob: accumulate count mismatch")
+	}
+	if lo < 0 || hi > len(b.diff) || lo > hi {
+		panic("blob: accumulate range out of bounds")
+	}
+	bd, od := b.diff[lo:hi], o.diff[lo:hi]
+	for i, v := range od {
+		bd[i] += v
+	}
+}
+
 // Update applies the computed update: data -= diff. Solvers store the final
 // per-parameter step in diff and then call Update, exactly as Caffe does.
 func (b *Blob) Update() {

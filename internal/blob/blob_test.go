@@ -184,6 +184,79 @@ func TestAccumulateDiff(t *testing.T) {
 	}
 }
 
+func TestAccumulateDiffRange(t *testing.T) {
+	a, b := New(5), New(5)
+	copy(a.Diff(), []float32{1, 2, 3, 4, 5})
+	copy(b.Diff(), []float32{10, 20, 30, 40, 50})
+	a.AccumulateDiffRange(b, 1, 4)
+	if got, want := a.Diff(), []float32{1, 22, 33, 44, 5}; !equalF32(got, want) {
+		t.Fatalf("range accumulate: got %v, want %v", got, want)
+	}
+	a.AccumulateDiffRange(b, 2, 2) // empty range is a no-op
+	if got, want := a.Diff(), []float32{1, 22, 33, 44, 5}; !equalF32(got, want) {
+		t.Fatalf("empty range accumulate changed diff: %v", got)
+	}
+}
+
+func equalF32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAccumulateDiffRangeCoversLikeFull: folding every disjoint slice of
+// [0, n) must equal one full AccumulateDiffFrom — the invariant
+// Coarse.Backward's element-parallel merge depends on.
+func TestAccumulateDiffRangeCoversLikeFull(t *testing.T) {
+	const n = 23
+	full, sliced, src := New(n), New(n), New(n)
+	for i := 0; i < n; i++ {
+		full.Diff()[i] = float32(i) * 0.25
+		sliced.Diff()[i] = float32(i) * 0.25
+		src.Diff()[i] = float32(n-i) * 0.125
+	}
+	full.AccumulateDiffFrom(src)
+	for lo := 0; lo < n; lo += 5 {
+		hi := lo + 5
+		if hi > n {
+			hi = n
+		}
+		sliced.AccumulateDiffRange(src, lo, hi)
+	}
+	if !equalF32(full.Diff(), sliced.Diff()) {
+		t.Fatalf("sliced fold %v != full fold %v", sliced.Diff(), full.Diff())
+	}
+}
+
+func TestAccumulateDiffRangePanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		target *Blob
+		lo, hi int
+	}{
+		{"count mismatch", New(4), 0, 3},
+		{"negative lo", New(3), -1, 2},
+		{"hi out of range", New(3), 0, 4},
+		{"inverted range", New(3), 2, 1},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.target.AccumulateDiffRange(New(3), tc.lo, tc.hi)
+		}()
+	}
+}
+
 func TestCopyMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -205,9 +205,35 @@ func (e *Coarse) Backward(l layers.Layer, bottom, top []*blob.Blob) {
 	}
 	switch e.reduction {
 	case OrderedReduction:
-		e.pool.Ordered(func(rank int) {
+		// Element-parallel ordered merge: view the layer's params as one
+		// flat element space, slice it across workers, and let each worker
+		// fold ranks 0..P-1 in rank order over its own slice
+		// (par.OrderedSlices). Every element keeps the exact accumulation
+		// order of the serial ordered merge — the result stays
+		// bit-deterministic — while the reduce's critical path shrinks
+		// from O(|params|·P) to O(|params|·P/P).
+		offsets := make([]int, len(params)+1)
+		for i, p := range params {
+			offsets[i+1] = offsets[i] + p.Count()
+		}
+		if e.tracer.Enabled() {
+			// Label the per-worker merge spans as reduce-phase work so the
+			// trace report shows the reduce section scaling with P.
+			e.tracer.SetScope(l.Name(), trace.PhaseReduce)
+		}
+		e.pool.OrderedSlices(offsets[len(params)], func(lo, hi, rank int) {
+			pg := privs[rank]
 			for i, p := range params {
-				p.AccumulateDiffFrom(privs[rank][i])
+				plo, phi := lo-offsets[i], hi-offsets[i]
+				if plo < 0 {
+					plo = 0
+				}
+				if c := p.Count(); phi > c {
+					phi = c
+				}
+				if plo < phi {
+					p.AccumulateDiffRange(pg[i], plo, phi)
+				}
 			}
 		})
 	case TreeReduction:

@@ -29,7 +29,7 @@ func TestBackwardNeverRoutesThroughForDynamic(t *testing.T) {
 	// rank-agnostic forward/bottom-diff loops) is allowed only in the
 	// no-params early return, before any gradient accumulation exists.
 	allowed := map[string]bool{
-		"Region": true, "Ordered": true, "ReduceTree": true, "Workers": true,
+		"Region": true, "Ordered": true, "OrderedSlices": true, "ReduceTree": true, "Workers": true,
 	}
 
 	var backward *ast.FuncDecl

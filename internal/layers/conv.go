@@ -98,8 +98,11 @@ type Convolution struct {
 	propagateDown bool
 
 	// Scratch for the tuned path: one column buffer (samples are processed
-	// serially in that path, parallelism is inside the GEMM).
-	colBuf []float32
+	// serially in that path, parallelism is inside the GEMM), plus its
+	// backward twin holding dcol = W^T * dTop before col2im. Both persist
+	// across calls so the tuned hot path allocates nothing in steady state.
+	colBuf  []float32
+	dcolBuf []float32
 	// cols hands out per-worker private column buffers for the lowered
 	// path (Algorithm 4's object privatization).
 	cols colBuffers
@@ -445,7 +448,10 @@ func (l *Convolution) BackwardTuned(p *par.Pool, bottom, top []*blob.Blob) {
 	chw := l.channels * l.height * l.width
 	w := l.params[0].Data()
 	wGrad := l.params[0].Diff()
-	dcol := make([]float32, len(l.colBuf))
+	if cap(l.dcolBuf) < len(l.colBuf) {
+		l.dcolBuf = make([]float32, len(l.colBuf))
+	}
+	dcol := l.dcolBuf[:len(l.colBuf)]
 	for s := 0; s < l.num; s++ {
 		im := bottom[0].Data()[s*chw:]
 		outDiff := top[0].Diff()[s*o*ohw : (s+1)*o*ohw]

@@ -86,11 +86,12 @@ type poolClosure struct {
 // holding the parallel body closure. (ForOrdered's merge argument runs
 // sequentially in rank order and is deliberately not analyzed.)
 var poolMethods = map[string]int{
-	"For":        1,
-	"ForTiles":   2,
-	"ForDynamic": 2,
-	"ForOrdered": 1,
-	"Region":     0,
+	"For":           1,
+	"ForTiles":      2,
+	"ForDynamic":    2,
+	"ForOrdered":    1,
+	"OrderedSlices": 1,
+	"Region":        0,
 }
 
 // forEachPoolClosure invokes visit for every func-literal worksharing

@@ -19,11 +19,20 @@ import (
 //     worksharing closure (the merge must instead go through Pool.Ordered,
 //     which visits ranks in increasing order on one goroutine);
 //  2. float accumulation driven by `range` over a map, whose iteration
-//     order is randomized by the runtime even on a single goroutine.
+//     order is randomized by the runtime even on a single goroutine;
+//  3. a hand-rolled cross-rank fold — a loop bounded by Pool.Workers()
+//     accumulating per-rank float partials inside a live worksharing
+//     closure. Even when the writes are element-disjoint, the fold reads
+//     peer ranks' partials while those ranks may still be producing them.
+//     Pool.OrderedSlices is the sanctioned form: it runs the same
+//     rank-ordered fold in its own region, after the compute region's
+//     join, and carries the bit-determinism proof and reduce-phase
+//     tracing with it.
 var OrderedReduce = &lint.Analyzer{
 	Name: "orderedreduce",
 	Doc: "flags nondeterministic floating-point reductions: cross-rank float accumulation " +
-		"outside Pool.Ordered/ForOrdered, and float accumulation over map iteration order",
+		"outside Pool.Ordered/ForOrdered, float accumulation over map iteration order, " +
+		"and hand-rolled rank folds that should go through Pool.OrderedSlices",
 	Run: runOrderedReduce,
 }
 
@@ -46,6 +55,15 @@ func runOrderedReduce(pass *lint.Pass) {
 					"bit-deterministic — privatize per rank and merge with Pool.Ordered/ForOrdered",
 				exprString(pass.Fset, w.lhs), c.method)
 		}
+
+		// Shape 3: hand-rolled rank folds. OrderedSlices closures ARE the
+		// sanctioned rank fold, so they are exempt; everywhere else a
+		// Workers()-bounded loop that accumulates floats into captured
+		// memory is merging partials inside a live region.
+		if c.method == "OrderedSlices" {
+			return
+		}
+		reportRawRankFolds(pass, c)
 	})
 
 	// Shape 2: float accumulation under map iteration.
@@ -101,6 +119,64 @@ func runOrderedReduce(pass *lint.Pass) {
 			return true
 		})
 	}
+}
+
+// reportRawRankFolds flags shape 3 inside one worksharing closure:
+// compound float accumulation into captured memory, nested in a for
+// loop whose condition is bounded by a (par.Pool).Workers() call. Only
+// schedule-indexed targets are reported here — folds into unindexed
+// captured state are already shape 1 findings, and reporting both would
+// double-diagnose one write.
+func reportRawRankFolds(pass *lint.Pass, c *poolClosure) {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond == nil || !mentionsWorkersCall(pass, loop.Cond) {
+			return true
+		}
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			st, ok := m.(*ast.AssignStmt)
+			if !ok || st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if !isFloat(pass.TypeOf(lhs)) {
+					continue
+				}
+				root, safeIndexed := c.unwrapTarget(lhs)
+				if root == nil || !safeIndexed {
+					continue
+				}
+				obj := objectOf(pass.Info, root)
+				if obj == nil || !c.capturedBy(obj) {
+					continue
+				}
+				pass.Reportf(lhs.Pos(),
+					"hand-rolled cross-rank fold into %q inside Pool.%s closure: the Workers()-bounded "+
+						"loop merges rank partials while peer ranks may still be writing them — run the "+
+						"merge through Pool.OrderedSlices after the compute region has joined",
+					exprString(pass.Fset, lhs), c.method)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// mentionsWorkersCall reports whether expr contains a call to the
+// worker-team size accessor (par.Pool).Workers.
+func mentionsWorkersCall(pass *lint.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if fn := calleeOf(pass.Info, call); fn != nil && isMethodOn(fn, "par", "Pool", "Workers") {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // indexedByAny reports whether any index step in lhs's access chain

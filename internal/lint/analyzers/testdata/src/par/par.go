@@ -60,3 +60,14 @@ func (p *Pool) ForOrdered(n int, compute func(lo, hi, rank int), merge func(rank
 	p.For(n, compute)
 	p.Ordered(merge)
 }
+
+// OrderedSlices folds ranks 0..P-1 in rank order over per-worker element
+// slices — the sanctioned element-parallel ordered reduction.
+func (p *Pool) OrderedSlices(n int, merge func(lo, hi, rank int)) {
+	for w := 0; w < p.workers; w++ {
+		lo, hi := Chunk(n, p.workers, w)
+		for r := 0; r < p.workers; r++ {
+			merge(lo, hi, r)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Fork/join dispatch for the worker team.
+//
+// The original pool forked a region with one unbuffered channel send per
+// worker and joined with a WaitGroup: two scheduler handoffs per worker
+// per region. At thousands of regions per second (one per layer per pass),
+// that latency is a double-digit fraction of the span time of small-extent
+// layers (ReLU, Softmax, Accuracy). Real OpenMP runtimes use
+// spin-then-park barriers instead, and this is that: the caller publishes
+// the region's task and bumps an atomic epoch ("generation") counter;
+// workers spin briefly on the epoch and only fall back to a sync.Cond
+// park when no region arrives. Back-to-back regions — the training hot
+// loop — are dispatched and joined entirely in user space.
+//
+// Memory ordering: every handoff is ordered by a sync/atomic operation
+// (epoch on the fork side, pending on the join side). Per the Go memory
+// model an atomic read observing an atomic write establishes
+// happens-before, so the plain fields published around those operations
+// (cur before the epoch bump, the task's writes before the pending
+// decrement) are visible without further synchronization — and the race
+// detector models the same edges, so -race understands this barrier.
+type barrier struct {
+	// epoch is the region generation counter. The caller bumps it once
+	// per region (and once at Close, after setting stop); a worker knows
+	// a new region is ready when the value moves past the last one it
+	// served.
+	epoch atomic.Uint64
+	// cur is the region's task, written by the caller before the epoch
+	// bump and read by workers after observing it.
+	cur task
+	// stop is set (before a final epoch bump) by Close; workers observing
+	// it exit instead of running cur.
+	stop bool
+	// pending counts unfinished shares of the current region, including
+	// the caller's rank-0 share. The worker that decrements it to zero
+	// wakes a parked joiner.
+	pending atomic.Int64
+
+	// Dispatch-side park: workers that exhaust their spin budget wait on
+	// dcond. parked counts them so a fork can skip the mutex entirely
+	// when every worker is still spinning — the common hot-loop case.
+	dmu    sync.Mutex
+	dcond  *sync.Cond
+	parked atomic.Int32
+
+	// Join-side park: the caller waits on jcond when the region outlasts
+	// its spin budget. joinParked tells the last-finishing worker whether
+	// a wakeup is needed.
+	jmu        sync.Mutex
+	jcond      *sync.Cond
+	joinParked atomic.Bool
+
+	// active is this team's pure-spin budget — spinActive when every
+	// goroutine can have its own P, near zero when the team oversubscribes
+	// GOMAXPROCS (spinning then only steals the CPU the peer needs; OpenMP
+	// runtimes make the same blocktime adjustment).
+	active int
+}
+
+// Spin budgets. A parallel region in the training loop is followed by
+// another within microseconds, so both sides first spin on their atomic
+// (spinActive pure loads, then spinYield rounds that runtime.Gosched
+// between loads — the yields keep a spinning goroutine from starving the
+// peers it is waiting for when the team is larger than GOMAXPROCS, and
+// are what makes the barrier live on a single-CPU host). Only when the
+// whole budget is exhausted — an idle pool, or a region far longer than
+// the dispatch latency — does the goroutine take the mutex and park.
+const (
+	spinActive = 256
+	spinYield  = 64
+)
+
+func newBarrier(team int) *barrier {
+	b := &barrier{active: spinActive}
+	if team > runtime.GOMAXPROCS(0) {
+		b.active = 1
+	}
+	b.dcond = sync.NewCond(&b.dmu)
+	b.jcond = sync.NewCond(&b.jmu)
+	return b
+}
+
+// post publishes t as the next region for a team with the given number of
+// shares and releases the workers. Caller side of the fork.
+func (b *barrier) post(t task, shares int) {
+	b.cur = t
+	b.pending.Store(int64(shares))
+	b.epoch.Add(1)
+	// Wake parked workers only: spinning workers see the epoch move on
+	// their own. If a worker is between its last spin and parked.Add, the
+	// epoch re-check it performs under dmu (see await) sees the new value
+	// — the sequentially consistent atomics order the bump above before
+	// that re-check — so no wakeup is lost by skipping the broadcast here.
+	if b.parked.Load() > 0 {
+		b.dmu.Lock()
+		b.dcond.Broadcast()
+		b.dmu.Unlock()
+	}
+}
+
+// await blocks until the epoch moves past last — a new region, or the
+// Close bump — and returns the new epoch. Worker side of the fork.
+func (b *barrier) await(last uint64) uint64 {
+	for i := 0; i < b.active; i++ {
+		if e := b.epoch.Load(); e != last {
+			return e
+		}
+	}
+	for i := 0; i < spinYield; i++ {
+		runtime.Gosched()
+		if e := b.epoch.Load(); e != last {
+			return e
+		}
+	}
+	b.dmu.Lock()
+	b.parked.Add(1)
+	for {
+		if e := b.epoch.Load(); e != last {
+			b.parked.Add(-1)
+			b.dmu.Unlock()
+			return e
+		}
+		b.dcond.Wait()
+	}
+}
+
+// done retires one share of the current region; the share that brings
+// pending to zero wakes a parked joiner. Worker side of the join.
+func (b *barrier) done() {
+	if b.pending.Add(-1) != 0 {
+		return
+	}
+	// If the joiner is still in its spin phase it sees pending hit zero
+	// itself; joinParked only reads true once the joiner has committed to
+	// parking (set under jmu, re-checking pending before the Wait — the
+	// same no-lost-wakeup argument as post/await, with roles swapped).
+	if !b.joinParked.Load() {
+		return
+	}
+	b.jmu.Lock()
+	b.jcond.Broadcast()
+	b.jmu.Unlock()
+}
+
+// join blocks until every share of the current region has retired.
+// Caller side of the join.
+func (b *barrier) join() {
+	for i := 0; i < b.active; i++ {
+		if b.pending.Load() == 0 {
+			return
+		}
+	}
+	for i := 0; i < spinYield; i++ {
+		runtime.Gosched()
+		if b.pending.Load() == 0 {
+			return
+		}
+	}
+	b.jmu.Lock()
+	b.joinParked.Store(true)
+	for b.pending.Load() != 0 {
+		b.jcond.Wait()
+	}
+	b.joinParked.Store(false)
+	b.jmu.Unlock()
+}
+
+// close releases the team for shutdown: stop is published by the final
+// epoch bump, and every worker — spinning or parked — observes it and
+// exits.
+func (b *barrier) close() {
+	b.stop = true
+	b.epoch.Add(1)
+	b.dmu.Lock()
+	b.dcond.Broadcast()
+	b.dmu.Unlock()
+}

@@ -1,0 +1,41 @@
+package par
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRegionForkJoin measures the pure fork/join cost of an empty
+// parallel region — the per-region launch latency every worksharing layer
+// pays once per pass. The small-extent layers (ReLU, Softmax, Accuracy)
+// run bodies of a few microseconds, so this number is a double-digit
+// fraction of their span time; PERFORMANCE.md §7 tracks it.
+func BenchmarkRegionForkJoin(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", w), func(b *testing.B) {
+			p := NewPool(w)
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Region(func(rank int) {})
+			}
+		})
+	}
+}
+
+// BenchmarkForForkJoin is BenchmarkRegionForkJoin through the worksharing
+// loop entry point: an n-iteration For whose body is trivial, so the
+// measurement is dominated by dispatch + join rather than the loop.
+func BenchmarkForForkJoin(b *testing.B) {
+	for _, w := range []int{2, 4} {
+		b.Run(fmt.Sprintf("P=%d", w), func(b *testing.B) {
+			p := NewPool(w)
+			defer p.Close()
+			sink := make([]int, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.For(w, func(lo, hi, rank int) { sink[rank] = lo })
+			}
+		})
+	}
+}

@@ -1,0 +1,185 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// serialOrderedFold is the reference the tentpole guarantee is stated
+// against: the accumulation order of Pool.Ordered — for each element,
+// partials are folded rank 0, 1, ..., P-1.
+func serialOrderedFold(partials [][]float32) []float32 {
+	out := make([]float32, len(partials[0]))
+	for _, part := range partials {
+		for i, v := range part {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+func randomPartials(workers, n int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([][]float32, workers)
+	for r := range parts {
+		parts[r] = make([]float32, n)
+		for i := range parts[r] {
+			// Mixed magnitudes so a different accumulation order would
+			// actually round differently (catching an implementation that
+			// is merely approximately equal).
+			parts[r][i] = (rng.Float32() - 0.5) * float32(math.Pow(10, float64(rng.Intn(6)-3)))
+		}
+	}
+	return parts
+}
+
+// TestOrderedSlicesBitIdenticalToOrdered is the tentpole determinism
+// proof: the element-parallel fold must be bit-identical to the serial
+// ordered merge at every worker count, because each element sees the
+// ranks in the same order either way.
+func TestOrderedSlicesBitIdenticalToOrdered(t *testing.T) {
+	const n = 1037 // not a multiple of any tested P, so slices are uneven
+	for _, workers := range []int{1, 2, 3, 4, 7, 8} {
+		p := NewPool(workers)
+		parts := randomPartials(workers, n, int64(workers)*7919)
+		want := serialOrderedFold(parts)
+
+		got := make([]float32, n)
+		p.OrderedSlices(n, func(lo, hi, rank int) {
+			for i := lo; i < hi; i++ {
+				got[i] += parts[rank][i]
+			}
+		})
+		p.Close()
+
+		for i := range want {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("P=%d: element %d = %x, want %x (not bit-identical)",
+					workers, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestOrderedSlicesRankOrderPerElement checks the contract directly:
+// every element is visited exactly once per rank, and the ranks arrive in
+// strictly increasing order.
+func TestOrderedSlicesRankOrderPerElement(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 8} {
+		const n = 53
+		p := NewPool(workers)
+		lastRank := make([]int, n) // lastRank[i]-1 = last rank folded into i
+		p.OrderedSlices(n, func(lo, hi, rank int) {
+			for i := lo; i < hi; i++ {
+				if lastRank[i] != rank {
+					t.Errorf("P=%d: element %d saw rank %d after %d ranks", workers, i, rank, lastRank[i])
+				}
+				lastRank[i]++
+			}
+		})
+		p.Close()
+		for i, c := range lastRank {
+			if c != workers {
+				t.Fatalf("P=%d: element %d folded %d times, want %d", workers, i, c, workers)
+			}
+		}
+	}
+}
+
+// TestOrderedSlicesSlicesAreChunks pins the partitioning to the static
+// schedule: the slice handed to each folding worker is exactly
+// Chunk(n, P, worker), and all P rank calls of a worker share its slice.
+func TestOrderedSlicesSlicesAreChunks(t *testing.T) {
+	const n = 41
+	for _, workers := range []int{2, 3, 4, 8} {
+		p := NewPool(workers)
+		var mu sync.Mutex
+		calls := map[[2]int]int{} // slice -> number of rank calls
+		p.OrderedSlices(n, func(lo, hi, rank int) {
+			mu.Lock()
+			calls[[2]int{lo, hi}]++
+			mu.Unlock()
+		})
+		p.Close()
+		for w := 0; w < workers; w++ {
+			lo, hi := Chunk(n, workers, w)
+			if lo >= hi {
+				continue
+			}
+			if got := calls[[2]int{lo, hi}]; got != workers {
+				t.Fatalf("P=%d: slice [%d,%d) folded by %d rank calls, want %d", workers, lo, hi, got, workers)
+			}
+			delete(calls, [2]int{lo, hi})
+		}
+		if len(calls) != 0 {
+			t.Fatalf("P=%d: unexpected non-chunk slices: %v", workers, calls)
+		}
+	}
+}
+
+// TestOrderedSlicesEmpty: n <= 0 must not call merge at all.
+func TestOrderedSlicesEmpty(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, -3} {
+		p.OrderedSlices(n, func(lo, hi, rank int) {
+			t.Fatalf("merge called for n=%d with [%d,%d) rank %d", n, lo, hi, rank)
+		})
+	}
+}
+
+// TestOrderedSlicesSingleWorker: P == 1 degenerates to one inline call
+// covering the whole range.
+func TestOrderedSlicesSingleWorker(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var calls atomic.Int32
+	p.OrderedSlices(9, func(lo, hi, rank int) {
+		calls.Add(1)
+		if lo != 0 || hi != 9 || rank != 0 {
+			t.Fatalf("got merge(%d, %d, %d), want merge(0, 9, 0)", lo, hi, rank)
+		}
+	})
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("merge called %d times, want 1", got)
+	}
+}
+
+// TestOrderedSlicesPanicPropagates: a panicking merge must surface on the
+// caller and leave the pool usable, like every other worksharing region.
+func TestOrderedSlicesPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected panic to propagate")
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+				t.Fatalf("unexpected panic payload: %v", r)
+			}
+		}()
+		p.OrderedSlices(100, func(lo, hi, rank int) {
+			if rank == 1 {
+				panic("boom")
+			}
+		})
+	}()
+	// Pool must survive for the next region.
+	got := make([]float32, 16)
+	p.OrderedSlices(16, func(lo, hi, rank int) {
+		for i := lo; i < hi; i++ {
+			got[i]++
+		}
+	})
+	for i, v := range got {
+		if v != 4 {
+			t.Fatalf("element %d folded %v times after recovery, want 4", i, v)
+		}
+	}
+}

@@ -10,7 +10,12 @@
 //   - Pool.Ordered: the `#pragma omp for ordered` analogue used for the
 //     deterministic gradient reduction — each worker's merge section runs
 //     in strictly increasing rank order, which makes the reduced value
-//     bit-identical to the sequential execution for any worker count.
+//     bit-identical to the sequential execution for any worker count;
+//   - Pool.OrderedSlices: the element-parallel form of the same ordered
+//     reduction — the element space is sliced across workers and every
+//     worker folds ranks 0..P-1 in rank order over its own slice, so each
+//     element sees the exact accumulation order of Ordered while the
+//     serial section shrinks from O(n) to O(n/P).
 //
 // The pool keeps P long-lived goroutines pinned to ranks so that repeated
 // parallel regions (one per layer per pass per iteration — thousands per
@@ -35,8 +40,10 @@ import (
 // an OpenMP thread team, one parallel region runs at a time.
 type Pool struct {
 	workers int
-	cmd     []chan task // one channel per worker rank 1..P-1 (rank 0 is the caller)
-	wg      sync.WaitGroup
+	// bar is the epoch-based spin-then-park fork/join barrier that
+	// dispatches regions to worker ranks 1..P-1 (rank 0 is the caller).
+	// See barrier.go for the protocol and its memory-ordering argument.
+	bar *barrier
 
 	mu         sync.Mutex
 	firstPanic any
@@ -59,10 +66,8 @@ func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{workers: n}
-	p.cmd = make([]chan task, n)
+	p := &Pool{workers: n, bar: newBarrier(n)}
 	for r := 1; r < n; r++ {
-		p.cmd[r] = make(chan task)
 		go p.worker(r)
 	}
 	return p
@@ -103,21 +108,29 @@ func (p *Pool) traced(body func(lo, hi, rank int), band func(lo, rank int) int) 
 // staticBand is the band index of a static-schedule invocation: the rank.
 func staticBand(_, rank int) int { return rank }
 
-// Close shuts the team down. The pool must not be used afterwards.
-// Closing an already-closed pool is a no-op.
+// Close shuts the team down. The pool must not be used afterwards: a
+// parallel region on a closed pool panics. Closing an already-closed
+// pool is a no-op.
 func (p *Pool) Close() {
 	if p.closed {
 		return
 	}
 	p.closed = true
-	for r := 1; r < p.workers; r++ {
-		close(p.cmd[r])
+	if p.workers > 1 {
+		p.bar.close()
 	}
 }
 
+// worker is the loop run by ranks 1..P-1: wait for the barrier to publish
+// a region (or the shutdown epoch), run our share, retire it, repeat.
 func (p *Pool) worker(rank int) {
-	for t := range p.cmd[rank] {
-		p.runTask(t, rank)
+	var last uint64
+	for {
+		last = p.bar.await(last)
+		if p.bar.stop {
+			return
+		}
+		p.runTask(p.bar.cur, rank)
 	}
 }
 
@@ -133,7 +146,7 @@ func (p *Pool) runTask(t task, rank int) {
 			}
 			p.mu.Unlock()
 		}
-		p.wg.Done()
+		p.bar.done()
 	}()
 	t(rank)
 }
@@ -145,12 +158,12 @@ func (p *Pool) region(t task) {
 		t(0)
 		return
 	}
-	p.wg.Add(p.workers)
-	for r := 1; r < p.workers; r++ {
-		p.cmd[r] <- t
+	if p.closed {
+		panic("par: parallel region on closed Pool")
 	}
+	p.bar.post(t, p.workers)
 	p.runTask(t, 0)
-	p.wg.Wait()
+	p.bar.join()
 	p.mu.Lock()
 	fp := p.firstPanic
 	p.firstPanic = nil
@@ -298,6 +311,55 @@ func (p *Pool) ForOrdered(n int, compute func(lo, hi, rank int), merge func(rank
 	p.Ordered(merge)
 }
 
+// OrderedSlices is the element-parallel form of Ordered for reductions
+// whose state is an n-element vector (Algorithm 5's gradient merge viewed
+// element-wise). The element space [0, n) is statically sliced across
+// workers with Chunk, and each worker folds the source ranks 0..P-1 in
+// strictly increasing rank order over its own slice: worker w calls
+// merge(lo_w, hi_w, 0), merge(lo_w, hi_w, 1), ..., merge(lo_w, hi_w, P-1).
+//
+// Because every element is owned by exactly one worker and that worker
+// applies the ranks in the same order Ordered would, each element's
+// accumulation order — and therefore its rounding — is identical to the
+// sequential ordered merge: the result is bit-identical to Ordered at any
+// worker count, while the merge's critical path drops from O(n·P) to
+// O(n·P/P) = O(n). This is the sanctioned way to accumulate one rank's
+// float state into another's in parallel; dnnlint's orderedreduce
+// analyzer flags hand-rolled cross-rank folds inside other worksharing
+// constructs.
+//
+// merge(lo, hi, rank) must fold source rank's elements [lo, hi) into the
+// reduction target and must touch nothing outside [lo, hi). Slices of
+// distinct workers are disjoint, so the writes are race-free by
+// construction. n <= 0 runs nothing. With P == 1 the single call
+// merge(0, n, 0) runs inline on the caller.
+func (p *Pool) OrderedSlices(n int, merge func(lo, hi, rank int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	fold := func(lo, hi, _ int) {
+		for r := 0; r < workers; r++ {
+			merge(lo, hi, r)
+		}
+	}
+	if p.tracer.Enabled() {
+		// One span per worker covering its whole rank fold: Band is the
+		// folding worker's rank, Lo/Hi its element slice.
+		fold = p.traced(fold, staticBand)
+	}
+	if workers == 1 {
+		fold(0, n, 0)
+		return
+	}
+	p.region(func(rank int) {
+		lo, hi := Chunk(n, workers, rank)
+		if lo < hi {
+			fold(lo, hi, rank)
+		}
+	})
+}
+
 // ReduceTree merges per-rank partial results with a pairwise tree:
 // combine(dst, src) must fold partial src into partial dst. Tree reduction
 // is the *unordered* alternative the paper mentions — cheaper in parallel
@@ -306,16 +368,15 @@ func (p *Pool) ForOrdered(n int, compute func(lo, hi, rank int), merge func(rank
 // ablation study (A-red in DESIGN.md).
 func (p *Pool) ReduceTree(combine func(dst, src int)) {
 	for stride := 1; stride < p.workers; stride *= 2 {
-		pairs := make([][2]int, 0, p.workers/(2*stride)+1)
-		for lo := 0; lo+stride < p.workers; lo += 2 * stride {
-			pairs = append(pairs, [2]int{lo, lo + stride})
-		}
-		if len(pairs) == 0 {
-			continue
-		}
-		p.For(len(pairs), func(plo, phi, _ int) {
-			for i := plo; i < phi; i++ {
-				combine(pairs[i][0], pairs[i][1])
+		// The k-th pair of this stride is (2*stride*k, 2*stride*k+stride);
+		// it exists while its src index stays below the team size, giving
+		// ceil((workers-stride) / (2*stride)) pairs — computed instead of
+		// materialized so steady-state tree reduction allocates nothing.
+		m := (p.workers - stride + 2*stride - 1) / (2 * stride)
+		p.For(m, func(klo, khi, _ int) {
+			for k := klo; k < khi; k++ {
+				dst := 2 * stride * k
+				combine(dst, dst+stride)
 			}
 		})
 	}

@@ -79,8 +79,11 @@ type Utilization struct {
 // ComputeUtilization aggregates a snapshot into per-(layer, phase)
 // utilization rows, ordered by first appearance of the driver span.
 // workers is the pool team size the busy time is normalized against.
-// Phases without worker spans (sequential layers, reduce/update) produce
-// no row.
+// Reduce rows aggregate the element-parallel ordered merge's per-worker
+// fold spans against the driver's merge wall time, so the reduce section
+// shows up with its own utilization instead of hiding inside backward.
+// Phases without worker spans (sequential layers, update) produce no
+// row.
 func ComputeUtilization(spans []Span, workers int) []Utilization {
 	if workers < 1 {
 		workers = 1
@@ -97,7 +100,8 @@ func ComputeUtilization(spans []Span, workers int) []Utilization {
 		return st
 	}
 	for _, s := range spans {
-		if s.Phase != PhaseForward && s.Phase != PhaseBackward && s.Phase != PhaseRegion {
+		if s.Phase != PhaseForward && s.Phase != PhaseBackward &&
+			s.Phase != PhaseRegion && s.Phase != PhaseReduce {
 			continue
 		}
 		k := regionKey{s.Name, s.Phase}

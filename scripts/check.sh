@@ -3,11 +3,14 @@
 # determinism/parallelism contract linter, see LINTING.md), the full test
 # suite (including Example tests), race-detector passes over the parallel
 # substrate (the BLAS band kernels, the worker pool, the span tracer, the
-# instrumented net loop and the coarse engine), a tracing smoke run
-# that must produce valid Chrome trace-event JSON, and the robustness
-# drills (ROBUSTNESS.md): the fault-injection suite, a seeded
-# corrupt-checkpoint recovery smoke and a guard NaN-poison smoke. Run
-# from anywhere inside the repo.
+# instrumented net loop and the coarse engine), the reduction determinism
+# sweep (the element-parallel ordered merge must stay bit-identical to the
+# serial ordered merge at every worker count) plus a dedicated race pass
+# over the spin-then-park barrier, a tracing smoke run that must produce
+# valid Chrome trace-event JSON, and the robustness drills
+# (ROBUSTNESS.md): the fault-injection suite, a seeded corrupt-checkpoint
+# recovery smoke and a guard NaN-poison smoke. Run from anywhere inside
+# the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,7 +35,12 @@ if "$tmpdir/dnnlint" -only parbody -src internal/lint/analyzers/testdata/src \
 	echo "FAIL: dnnlint exited 0 on the seeded parbody fixture" >&2
 	exit 1
 fi
-echo "seeded violation detected, as required"
+if "$tmpdir/dnnlint" -only orderedreduce -src internal/lint/analyzers/testdata/src \
+	./internal/lint/analyzers/testdata/src/orderedreduce >/dev/null 2>&1; then
+	echo "FAIL: dnnlint exited 0 on the seeded orderedreduce fixture (raw cross-rank fold)" >&2
+	exit 1
+fi
+echo "seeded violations detected, as required"
 
 echo "== go test =="
 go test ./...
@@ -43,6 +51,13 @@ go test -run Example ./...
 echo "== go test -race (blas, par, trace, net, core, guard, faultinject) =="
 go test -race -count=1 ./internal/blas ./internal/par ./internal/trace ./internal/net ./internal/core \
 	./internal/guard ./internal/faultinject
+
+echo "== reduction determinism sweep (OrderedSlices bit-identical across P) =="
+go test -count=1 -run 'TestOrderedSlicesBitIdenticalToOrdered|TestOrderedSlicesMergeBitIdenticalAcrossWorkers' \
+	./internal/par ./internal/core
+
+echo "== barrier stress under race (spin-then-park fork/join) =="
+go test -race -count=1 -run 'TestBarrier|TestOrderedSlices|TestPanic|TestRegion' ./internal/par
 
 echo "== fault-injection suite (deterministic drills + e2e crash recovery) =="
 go test -count=1 ./internal/faultinject ./internal/snapshot
