@@ -88,6 +88,12 @@ var (
 type GemmScratch struct {
 	ap []float32 // packed A block: up to gemmMC x gemmKC, mr-tall panels
 	bp []float32 // packed B block: up to gemmKC x gemmNC, nr-wide panels
+	// acc is the micro-kernel's accumulator tile. It lives here rather
+	// than on gemmBlocked's stack because the kernel is invoked through
+	// the gemmMicroKernel package variable (the AVX dispatch), which
+	// defeats escape analysis and would heap-allocate the tile on every
+	// call — one GC object per GEMM on the serving hot path.
+	acc [gemmMR * gemmNRMax]float32
 }
 
 func (s *GemmScratch) ensure(apLen, bpLen int) {
@@ -167,7 +173,7 @@ func gemmBlocked(s *GemmScratch, transA, transB Transpose, n, k int, alpha float
 		kcMax = k
 	}
 	s.ensure(roundUp(mcMax, gemmMR)*kcMax, roundUp(ncMax, nr)*kcMax)
-	var acc [gemmMR * gemmNRMax]float32
+	acc := &s.acc
 	for jc := 0; jc < n; jc += gemmNC {
 		nc := min(gemmNC, n-jc)
 		for pc := 0; pc < k; pc += gemmKC {
@@ -183,8 +189,8 @@ func gemmBlocked(s *GemmScratch, transA, transB Transpose, n, k int, alpha float
 					for ir := 0; ir < mc; ir += gemmMR {
 						mrr := min(gemmMR, mc-ir)
 						apPanel := s.ap[(ir/gemmMR)*kc*gemmMR:]
-						gemmMicroKernel(apPanel, bpPanel, kc, &acc)
-						writebackTile(&acc, nr, alpha, beta, firstK,
+						gemmMicroKernel(apPanel, bpPanel, kc, acc)
+						writebackTile(acc, nr, alpha, beta, firstK,
 							c[(ic+ir)*ldc+jc+jr:], ldc, mrr, nrr)
 					}
 				}

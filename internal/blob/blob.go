@@ -28,6 +28,10 @@ type Blob struct {
 	// diffOnly marks gradient-scratch blobs whose data buffer aliases the
 	// diff buffer, halving their footprint (see NewDiffOnly).
 	diffOnly bool
+	// dataOnly marks forward-only blobs that never allocate a gradient
+	// buffer (see NewDataOnly): Diff() stays nil across reshapes, halving
+	// the activation footprint of an inference net.
+	dataOnly bool
 }
 
 // New creates a blob with the given shape. All elements are zero.
@@ -61,6 +65,42 @@ func NewDiffOnly(shape ...int) *Blob {
 	return b
 }
 
+// NewDataOnly creates a blob that never allocates a gradient buffer: its
+// Diff() is nil across every Reshape. It is the dual of NewDiffOnly,
+// meant for the activations of forward-only (inference) nets
+// (net.NewForward), which only ever read and write Data — the gradient
+// half of the memory footprint disappears. ZeroDiff and ScaleDiff are
+// no-ops; indexing into Diff() panics, by design.
+func NewDataOnly(shape ...int) *Blob {
+	b := &Blob{dataOnly: true}
+	b.Reshape(shape...)
+	return b
+}
+
+// NamedDataOnly creates a named blob with no gradient buffer
+// (see NewDataOnly).
+func NamedDataOnly(name string, shape ...int) *Blob {
+	b := NewDataOnly(shape...)
+	b.name = name
+	return b
+}
+
+// DataOnly reports whether the blob carries no gradient buffer.
+func (b *Blob) DataOnly() bool { return b.dataOnly }
+
+// DropDiff releases the blob's gradient buffer and converts it to
+// data-only mode: subsequent reshapes never reallocate a diff buffer.
+// net.NewForward calls this on parameter blobs so a forward-only net
+// holds only the coefficients themselves. Panics on a diff-only blob
+// (dropping its diff would drop its data).
+func (b *Blob) DropDiff() {
+	if b.diffOnly {
+		panic("blob: DropDiff on a diff-only blob")
+	}
+	b.dataOnly = true
+	b.diff = nil
+}
+
 // Name returns the blob's name ("" if unnamed).
 func (b *Blob) Name() string { return b.name }
 
@@ -88,6 +128,13 @@ func (b *Blob) Reshape(shape ...int) {
 	}
 	n := count(shape)
 	b.shape = append(b.shape[:0], shape...)
+	if b.dataOnly {
+		if cap(b.data) < n {
+			b.data = make([]float32, n)
+		}
+		b.data = b.data[:n]
+		return
+	}
 	if cap(b.diff) < n {
 		b.diff = make([]float32, n)
 		if b.diffOnly {
@@ -345,8 +392,9 @@ func (b *Blob) String() string {
 func (b *Blob) Cap() int { return cap(b.data) }
 
 // MemoryBytes returns the number of bytes held by the blob's buffers
-// (counting an aliased diff-only buffer once). Used for the paper's
-// §3.2.1 memory-overhead accounting.
+// (counting an aliased diff-only buffer once, and a dropped diff buffer
+// not at all). Used for the paper's §3.2.1 memory-overhead accounting
+// and for the forward-only mode's footprint comparison (SERVING.md).
 func (b *Blob) MemoryBytes() int64 {
 	if b.diffOnly {
 		return int64(cap(b.diff)) * 4

@@ -18,20 +18,28 @@ import (
 // sync.Pool, which gives per-worker reuse without the layer knowing the
 // team size.
 
+// colBuf wraps one pooled buffer. The pool stores these pointers rather
+// than []float32 values: boxing a slice header into the pool's
+// interface would allocate on every put, which the serving path's
+// zero-alloc steady state (SERVING.md) cannot afford.
+type colBuf struct{ data []float32 }
+
 // colBuffers hands out column/scratch buffers of at least n floats.
 type colBuffers struct{ pool sync.Pool }
 
-func (c *colBuffers) get(n int) []float32 {
-	if v := c.pool.Get(); v != nil {
-		buf := v.([]float32)
-		if cap(buf) >= n {
-			return buf[:n]
-		}
+func (c *colBuffers) get(n int) *colBuf {
+	b, _ := c.pool.Get().(*colBuf)
+	if b == nil {
+		b = &colBuf{}
 	}
-	return make([]float32, n)
+	if cap(b.data) < n {
+		b.data = make([]float32, n)
+	}
+	b.data = b.data[:n]
+	return b
 }
 
-func (c *colBuffers) put(buf []float32) { c.pool.Put(buf) } //nolint:staticcheck // slice headers are tiny
+func (c *colBuffers) put(b *colBuf) { c.pool.Put(b) }
 
 // forwardLoweredRange computes samples [lo, hi) via im2col+GEMM. One
 // GemmScratch serves the whole band: the packed-panel buffers of the
@@ -43,8 +51,9 @@ func (l *Convolution) forwardLoweredRange(lo, hi int, bottom, top *blob.Blob) {
 	ohw := l.outH * l.outW
 	chw := l.channels * l.height * l.width
 	w := l.params[0].Data()
-	col := l.cols.get(ckk * ohw)
-	defer l.cols.put(col)
+	cb := l.cols.get(ckk * ohw)
+	defer l.cols.put(cb)
+	col := cb.data
 	gs := blas.GetScratch()
 	defer blas.PutScratch(gs)
 	for s := lo; s < hi; s++ {
@@ -77,10 +86,11 @@ func (l *Convolution) backwardLoweredRange(lo, hi int, bottom, top *blob.Blob, p
 	if !l.cfg.NoBias {
 		bGrad = paramGrads[1].Diff()
 	}
-	col := l.cols.get(ckk * ohw)
-	defer l.cols.put(col)
-	dcol := l.cols.get(ckk * ohw)
-	defer l.cols.put(dcol)
+	cb := l.cols.get(ckk * ohw)
+	defer l.cols.put(cb)
+	dcb := l.cols.get(ckk * ohw)
+	defer l.cols.put(dcb)
+	col, dcol := cb.data, dcb.data
 	gs := blas.GetScratch()
 	defer blas.PutScratch(gs)
 	for s := lo; s < hi; s++ {

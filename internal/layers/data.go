@@ -60,6 +60,22 @@ func (l *Data) Rewind() { l.cursor = 0 }
 // BatchSize returns the configured batch size.
 func (l *Data) BatchSize() int { return l.batchSize }
 
+// SetBatchSize changes the batch size for subsequent passes. The caller
+// must re-run shape inference (net.Reshape) before the next forward so
+// every downstream blob tracks the new leading dimension. The serving
+// engine uses this to run partially-filled dynamic batches: blob buffers
+// are reused as long as capacity suffices, so shrinking below a
+// previously-seen batch size allocates nothing.
+func (l *Data) SetBatchSize(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("layer %s: batch size must be positive, got %d", l.name, n))
+	}
+	if n > l.src.Len() {
+		panic(fmt.Sprintf("layer %s: batch size %d exceeds source length %d", l.name, n, l.src.Len()))
+	}
+	l.batchSize = n
+}
+
 // SetUp implements Layer.
 func (l *Data) SetUp(bottom, top []*blob.Blob) error {
 	if err := checkBottomTop(l, bottom, top, 0, 2); err != nil {

@@ -31,6 +31,10 @@ func TestHotAllocGuardScans(t *testing.T) {
 	lint.Fixture(t, HotAlloc, "guardhot")
 }
 
+func TestHotAllocServePath(t *testing.T) {
+	lint.Fixture(t, HotAlloc, "servehot")
+}
+
 func TestTraceNilCallSites(t *testing.T) {
 	lint.Fixture(t, TraceNil, "tracenil")
 }

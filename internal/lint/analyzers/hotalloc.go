@@ -25,12 +25,19 @@ import (
 // (identified structurally, like the other analyzers, so the fixture
 // package stands in for the real internal/guard).
 //
+// The serving request path is the third hot surface: serve.replica's
+// Infer* methods and serve.feeder's Read* methods run once per dispatched
+// batch (respectively once per staged sample) for the lifetime of the
+// daemon, and the server's zero-alloc steady-state contract (SERVING.md)
+// depends on them staying allocation-free after warm-up.
+//
 // Deliberate allocations (e.g. one-time growth amortized across batches)
 // are waived with `//dnnlint:ignore hotalloc <why>`.
 var HotAlloc = &lint.Analyzer{
 	Name: "hotalloc",
 	Doc: "flags make/append/new and fmt.* calls inside loops of Forward*/Backward*/GEMM " +
-		"functions and guard.Monitor Check*/scan* methods (allocation in the per-iteration hot path)",
+		"functions, guard.Monitor Check*/scan* methods, and serve.replica Infer* / " +
+		"serve.feeder Read* methods (allocation in the per-iteration hot path)",
 	Run: runHotAlloc,
 }
 
@@ -72,6 +79,37 @@ func isGuardScan(pass *lint.Pass, fd *ast.FuncDecl) bool {
 	return isNamed(sig.Recv().Type(), "guard", "Monitor")
 }
 
+// isServeHot reports whether fd is on the serving request path: an
+// Infer* method on serve.replica (runs once per dispatched batch) or a
+// Read* method on serve.feeder (runs once per staged sample via the
+// Data layer). These execute for every request for the lifetime of the
+// daemon, so their loops are held to the same zero-alloc standard as a
+// Forward pass.
+func isServeHot(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	name := fd.Name.Name
+	wantType := ""
+	switch {
+	case strings.HasPrefix(name, "Infer"):
+		wantType = "replica"
+	case strings.HasPrefix(name, "Read"):
+		wantType = "feeder"
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), "serve", wantType)
+}
+
 func runHotAlloc(pass *lint.Pass) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -79,7 +117,7 @@ func runHotAlloc(pass *lint.Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if !hotFunc(fd.Name.Name) && !isGuardScan(pass, fd) {
+			if !hotFunc(fd.Name.Name) && !isGuardScan(pass, fd) && !isServeHot(pass, fd) {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {

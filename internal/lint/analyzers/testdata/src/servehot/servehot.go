@@ -1,0 +1,60 @@
+// Package serve (fixture) exercises hotalloc's serving rule: Infer*
+// methods on serve.replica run once per dispatched batch and Read*
+// methods on serve.feeder once per staged sample, for the lifetime of
+// the daemon, so allocation inside their loops is flagged exactly like
+// a Forward pass — while methods outside that shape (other names, other
+// receivers) stay exempt.
+package serve
+
+// replica mirrors internal/serve.replica structurally.
+type replica struct {
+	scores []float32
+	out    [][]float32
+}
+
+// feeder mirrors internal/serve.feeder structurally.
+type feeder struct {
+	samples [][]float32
+	log     []string
+}
+
+// Infer is the per-batch entry point: hot.
+func (r *replica) Infer(reqs []int) {
+	for range reqs {
+		row := make([]float32, 10) // want `make in a loop of hot function Infer`
+		r.out = append(r.out, row) // want `append in a loop of hot function Infer`
+	}
+}
+
+// InferOne shares the Infer* prefix: also hot, closures included.
+func (r *replica) InferOne(slot int) {
+	for i := 0; i < slot; i++ {
+		r.scores = append(r.scores, 0) // want `append in a loop of hot function InferOne`
+	}
+}
+
+// Read stages one sample per call from the Data layer: hot.
+func (f *feeder) Read(i int, in []float32) int {
+	for j := range in {
+		tmp := new(float32) // want `new in a loop of hot function Read`
+		*tmp = f.samples[i][j]
+		in[j] = *tmp
+	}
+	return 0
+}
+
+// Warm is not an Infer*/Read* method: its loops may allocate freely.
+func (r *replica) Warm(n int) {
+	for i := 0; i < n; i++ {
+		r.out = append(r.out, make([]float32, 10))
+	}
+}
+
+// logger is neither replica nor feeder: an Infer method on it is exempt.
+type logger struct{ lines []string }
+
+func (l *logger) Infer(n int) {
+	for i := 0; i < n; i++ {
+		l.lines = append(l.lines, "x")
+	}
+}

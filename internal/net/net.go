@@ -47,18 +47,44 @@ type Net struct {
 	engine   core.Engine
 	recorder *profile.Recorder
 	tracer   *trace.Tracer
+
+	// forwardOnly marks inference nets built by NewForward: activation
+	// blobs carry no gradient buffers and Backward panics.
+	forwardOnly bool
 }
 
 // New builds a network from specs, running each layer's SetUp in order.
 // The engine drives all passes and may be swapped later with SetEngine.
 func New(specs []LayerSpec, engine core.Engine) (*Net, error) {
+	return build(specs, engine, false)
+}
+
+// NewForward builds a forward-only (inference) network: activation blobs
+// are created data-only (no gradient buffer is ever allocated), every
+// parameter blob's diff buffer is dropped, and layers that distinguish
+// train/test mode start in test mode. The memory footprint is roughly
+// half of a trainable net's and the forward pass never touches a Diff
+// slice, which is what makes the serving hot path allocation-free
+// (SERVING.md). Backward and ForwardBackward panic on such a net.
+func NewForward(specs []LayerSpec, engine core.Engine) (*Net, error) {
+	return build(specs, engine, true)
+}
+
+// stater matches snapshot.Stater structurally (layers carrying
+// non-learnable state blobs, e.g. BatchNorm's moving averages).
+type stater interface {
+	StateBlobs() []*blob.Blob
+}
+
+func build(specs []LayerSpec, engine core.Engine, forwardOnly bool) (*Net, error) {
 	if engine == nil {
 		engine = core.NewSequential()
 	}
 	n := &Net{
-		specs:  specs,
-		blobs:  make(map[string]*blob.Blob),
-		engine: engine,
+		specs:       specs,
+		blobs:       make(map[string]*blob.Blob),
+		engine:      engine,
+		forwardOnly: forwardOnly,
 	}
 	needsGrad := make(map[string]bool)
 	// diffWriters counts, per blob, the layers whose backward pass writes
@@ -95,7 +121,12 @@ func New(specs []LayerSpec, engine core.Engine) (*Net, error) {
 				}
 				return nil, fmt.Errorf("net: layer %s re-produces blob %q (layer does not support in-place)", name, tn)
 			}
-			t := blob.Named(tn)
+			var t *blob.Blob
+			if forwardOnly {
+				t = blob.NamedDataOnly(tn)
+			} else {
+				t = blob.Named(tn)
+			}
 			n.blobs[tn] = t
 			tops = append(tops, t)
 		}
@@ -155,7 +186,79 @@ func New(specs []LayerSpec, engine core.Engine) (*Net, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("net: no layers")
 	}
+	if forwardOnly {
+		// Inference never reads parameter gradients: drop them so the net
+		// holds only the coefficients (plus layer state), and start in
+		// test mode (Dropout passes through, BatchNorm uses its moving
+		// averages).
+		for _, p := range n.params {
+			p.DropDiff()
+		}
+		for _, l := range n.Layers() {
+			if st, ok := l.(stater); ok {
+				for _, b := range st.StateBlobs() {
+					b.DropDiff()
+				}
+			}
+		}
+		n.SetTrain(false)
+	}
 	return n, nil
+}
+
+// ForwardOnly reports whether the net was built by NewForward.
+func (n *Net) ForwardOnly() bool { return n.forwardOnly }
+
+// Reshape re-runs shape inference through every layer in topological
+// order, propagating (possibly changed) bottom shapes to top blobs. The
+// serving engine calls it after Data.SetBatchSize so a dynamic batch of
+// any size ≤ the warmed maximum flows through without reallocation
+// (blob buffers are reused while capacity suffices).
+func (n *Net) Reshape() {
+	for i, spec := range n.specs {
+		spec.Layer.Reshape(n.bottoms[i], n.tops[i])
+	}
+}
+
+// ShareParamsWith makes every parameter (and layer-state) blob of n alias
+// ref's data buffers: the two nets then read the same single copy of the
+// coefficients. This is the serving replica pool's weight sharing — R
+// forward-only replicas hold one set of weights, not R — and is safe
+// precisely because forward passes only ever read parameter data.
+// Architectures must match (same parameter count and element counts).
+// Snapshot loads into ref are immediately visible to every sharer.
+func (n *Net) ShareParamsWith(ref *Net) error {
+	if len(n.params) != len(ref.params) {
+		return fmt.Errorf("net: param count mismatch %d vs %d", len(n.params), len(ref.params))
+	}
+	for i, p := range n.params {
+		if p.Count() != ref.params[i].Count() {
+			return fmt.Errorf("net: param %d count mismatch", i)
+		}
+		p.ShareDataWith(ref.params[i])
+	}
+	nl, rl := n.Layers(), ref.Layers()
+	if len(nl) != len(rl) {
+		return fmt.Errorf("net: layer count mismatch %d vs %d", len(nl), len(rl))
+	}
+	for i, l := range nl {
+		st, ok := l.(stater)
+		if !ok {
+			continue
+		}
+		rst, ok := rl[i].(stater)
+		if !ok {
+			return fmt.Errorf("net: layer %d state mismatch", i)
+		}
+		sb, rb := st.StateBlobs(), rst.StateBlobs()
+		if len(sb) != len(rb) {
+			return fmt.Errorf("net: layer %d state blob count mismatch", i)
+		}
+		for j, b := range sb {
+			b.ShareDataWith(rb[j])
+		}
+	}
+	return nil
 }
 
 // SetEngine swaps the execution engine (e.g. to compare sequential,
@@ -286,6 +389,9 @@ func (n *Net) Loss() float64 {
 // each loss layer's top gradient with its loss weight. Parameter gradients
 // ACCUMULATE; call ZeroParamDiffs first (the solver does).
 func (n *Net) Backward() {
+	if n.forwardOnly {
+		panic("net: Backward on a forward-only net (built with NewForward)")
+	}
 	for _, i := range n.lossIdx {
 		w := n.specs[i].Layer.(layers.LossWeighter).LossWeight()
 		n.tops[i][0].Diff()[0] = w

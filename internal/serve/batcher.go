@@ -1,0 +1,83 @@
+package serve
+
+import "time"
+
+// batchLoop is the single consumer of the admission queue. Its state
+// machine has two modes:
+//
+//   - idle: block on the queue; the first arrival starts a batch and
+//     arms the deadline timer.
+//   - collecting: accept further arrivals until the batch reaches
+//     MaxBatch (full flush) or the timer fires (deadline flush), then
+//     hand the batch to a replica worker and return to idle.
+//
+// A flush blocks on the free list when every replica is busy — that is
+// the intended backpressure chain: busy replicas → batcher stalls →
+// queue fills → Submit rejects with ErrOverloaded.
+//
+// Closing the queue (Close) flushes the partial batch and closes the
+// dispatch channel, so every admitted request is answered before Close
+// returns.
+func (s *Server) batchLoop() {
+	defer close(s.batcherDone)
+	defer close(s.dispatch)
+	timer := time.NewTimer(time.Hour)
+	stopTimer(timer)
+	batch := <-s.free
+	for {
+		r, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch, r)
+		if len(batch) == s.cfg.MaxBatch {
+			s.fullFlushes.Add(1)
+			batch = s.flush(batch)
+			continue
+		}
+		timer.Reset(s.cfg.MaxDelay)
+		flushed := false
+		for !flushed {
+			select {
+			case r2, ok2 := <-s.queue:
+				if !ok2 {
+					stopTimer(timer)
+					s.deadlineFlushes.Add(1)
+					s.flush(batch)
+					return
+				}
+				batch = append(batch, r2)
+				if len(batch) == s.cfg.MaxBatch {
+					stopTimer(timer)
+					s.fullFlushes.Add(1)
+					batch = s.flush(batch)
+					flushed = true
+				}
+			case <-timer.C:
+				s.deadlineFlushes.Add(1)
+				batch = s.flush(batch)
+				flushed = true
+			}
+		}
+	}
+}
+
+// flush hands the batch to a replica worker and takes a fresh slice
+// from the free list (blocking until a worker returns one — the
+// backpressure stall described on batchLoop).
+func (s *Server) flush(batch []*Request) []*Request {
+	s.dispatch <- batch
+	next := <-s.free
+	return next[:0]
+}
+
+// stopTimer stops t and drains a pending fire so the next Reset arms
+// cleanly (the time.Timer reuse idiom).
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}

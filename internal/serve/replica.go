@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"coarsegrain/internal/blob"
+	"coarsegrain/internal/layers"
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/trace"
+)
+
+// feeder adapts the current batch of requests to the layers.Source
+// interface so the network's own Data layer stages inputs — no second
+// staging copy, no dataset on disk. Len is pinned at MaxBatch (the
+// Data layer validates batch sizes against it); Read pulls sample i
+// straight from request i's input buffer. Labels are meaningless when
+// serving, so Read returns class 0.
+//
+// Read is on the request hot path: dnnlint's hotalloc analyzer holds
+// feeder Read* methods to the training-pass standard (LINTING.md §4).
+type feeder struct {
+	shape   []int
+	classes int
+	batch   int
+	reqs    []*Request
+}
+
+// Len implements layers.Source.
+func (f *feeder) Len() int { return f.batch }
+
+// SampleShape implements layers.Source.
+func (f *feeder) SampleShape() []int { return f.shape }
+
+// Classes implements layers.Source.
+func (f *feeder) Classes() int { return f.classes }
+
+// Read implements layers.Source: slot i of the staged batch.
+func (f *feeder) Read(i int, out []float32) int {
+	copy(out, f.reqs[i].in)
+	return 0
+}
+
+// replica is one pre-warmed forward-only net plus its feeder. Replica 0
+// owns the weights; the rest alias them via net.ShareParamsWith. Each
+// replica is driven by exactly one worker goroutine, so Infer needs no
+// locking.
+type replica struct {
+	rank   int
+	srv    *Server
+	feed   *feeder
+	net    *net.Net
+	data   *layers.Data
+	scores *blob.Blob
+	batch  int // batch size the net is currently shaped for
+	seq    int // dispatched-batch sequence number (trace Band)
+}
+
+// newReplica builds one replica: fresh layer instances over a fresh
+// feeder, training tail stripped, shaped for MaxBatch.
+func newReplica(rank int, s *Server) (*replica, error) {
+	f := &feeder{shape: s.cfg.SampleShape, classes: s.cfg.Classes, batch: s.cfg.MaxBatch}
+	specs, err := s.cfg.Build(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: replica %d build: %w", rank, err)
+	}
+	specs = StripTraining(specs)
+	n, err := net.NewForward(specs, nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: replica %d: %w", rank, err)
+	}
+	var dl *layers.Data
+	for _, l := range n.Layers() {
+		if d, ok := l.(*layers.Data); ok {
+			dl = d
+			break
+		}
+	}
+	if dl == nil {
+		return nil, fmt.Errorf("serve: replica %d: network has no Data layer", rank)
+	}
+	if dl.BatchSize() != s.cfg.MaxBatch {
+		dl.SetBatchSize(s.cfg.MaxBatch)
+		n.Reshape()
+	}
+	sb := n.Blob(s.cfg.ScoreBlob)
+	if sb == nil {
+		return nil, fmt.Errorf("serve: replica %d: no blob %q in network", rank, s.cfg.ScoreBlob)
+	}
+	if sb.Count() != s.cfg.MaxBatch*s.cfg.Classes {
+		return nil, fmt.Errorf("serve: replica %d: score blob %q has %d elements at batch %d, want %d classes per sample",
+			rank, s.cfg.ScoreBlob, sb.Count(), s.cfg.MaxBatch, s.cfg.Classes)
+	}
+	return &replica{rank: rank, srv: s, feed: f, net: n, data: dl, scores: sb, batch: s.cfg.MaxBatch}, nil
+}
+
+// Infer runs one dynamic batch: stage the requests behind the feeder,
+// resize the net if the batch size changed (buffer-reusing, so
+// allocation-free once warmed at MaxBatch), forward, scatter the score
+// rows back into the requests, and signal completion. This is the
+// steady-state request hot path — dnnlint's hotalloc analyzer enforces
+// that its loops allocate nothing (LINTING.md §4).
+func (rep *replica) Infer(reqs []*Request) {
+	start := time.Now()
+	b := len(reqs)
+	rep.feed.reqs = reqs
+	if b != rep.batch {
+		rep.data.SetBatchSize(b)
+		rep.net.Reshape()
+		rep.batch = b
+	}
+	rep.data.Rewind()
+	rep.net.Forward()
+	out := rep.scores.Data()
+	cls := rep.feed.classes
+	for i, r := range reqs {
+		copy(r.scores, out[i*cls:(i+1)*cls])
+	}
+	rep.feed.reqs = nil
+	end := time.Now()
+
+	tr := rep.srv.cfg.Tracer
+	if tr.Enabled() {
+		// Single-writer discipline: every span lands on this replica's
+		// rank shard, and only this worker goroutine writes it.
+		tr.Record(trace.Span{
+			Name: "batch", Phase: trace.PhaseServe, Rank: rep.rank, Band: rep.seq,
+			Lo: 0, Hi: b, Start: tr.Stamp(start), Dur: end.Sub(start),
+		})
+		for i, r := range reqs {
+			tr.Record(trace.Span{
+				Name: "request", Phase: trace.PhaseServe, Rank: rep.rank, Band: rep.seq,
+				Lo: i, Hi: i + 1, Start: tr.Stamp(r.enq), Dur: end.Sub(r.enq),
+			})
+		}
+	}
+	rep.seq++
+
+	var lat int64
+	for _, r := range reqs {
+		lat += int64(end.Sub(r.enq))
+	}
+	s := rep.srv
+	s.batches.Add(1)
+	s.samples.Add(int64(b))
+	s.served.Add(int64(b))
+	s.latencyNS.Add(lat)
+	for _, r := range reqs {
+		r.done <- struct{}{}
+	}
+}

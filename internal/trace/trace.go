@@ -62,6 +62,11 @@ const (
 	// and gradient-norm scan plus the recovery decision it produced, so
 	// skips and rollbacks are visible on the training timeline.
 	PhaseGuard
+	// PhaseServe is a serving-path interval (internal/serve): one
+	// dispatched inference batch, or one request's queue-to-completion
+	// latency. Batch spans carry the batch size in Hi; request spans
+	// carry the request's batch slot in Lo.
+	PhaseServe
 )
 
 // String implements fmt.Stringer.
@@ -79,6 +84,8 @@ func (p Phase) String() string {
 		return "iteration"
 	case PhaseGuard:
 		return "guard"
+	case PhaseServe:
+		return "serve"
 	default:
 		return "region"
 	}
@@ -99,6 +106,8 @@ func (p Phase) short() string {
 		return "iter"
 	case PhaseGuard:
 		return "guard"
+	case PhaseServe:
+		return "srv"
 	default:
 		return "region"
 	}

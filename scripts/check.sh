@@ -1,16 +1,19 @@
 #!/bin/sh
 # check.sh — the repository's pre-commit gate: vet, build, dnnlint (the
-# determinism/parallelism contract linter, see LINTING.md), the full test
-# suite (including Example tests), race-detector passes over the parallel
-# substrate (the BLAS band kernels, the worker pool, the span tracer, the
-# instrumented net loop and the coarse engine), the reduction determinism
-# sweep (the element-parallel ordered merge must stay bit-identical to the
-# serial ordered merge at every worker count) plus a dedicated race pass
-# over the spin-then-park barrier, a tracing smoke run that must produce
-# valid Chrome trace-event JSON, and the robustness drills
-# (ROBUSTNESS.md): the fault-injection suite, a seeded corrupt-checkpoint
-# recovery smoke and a guard NaN-poison smoke. Run from anywhere inside
-# the repo.
+# determinism/parallelism contract linter; LINTING.md is the canonical
+# catalogue of its analyzers and this script's self-tests follow its
+# order), the full test suite (including Example tests), race-detector
+# passes over the parallel substrate (the BLAS band kernels, the worker
+# pool, the span tracer, the instrumented net loop, the coarse engine and
+# the serving layer), the reduction determinism sweep (the
+# element-parallel ordered merge must stay bit-identical to the serial
+# ordered merge at every worker count) plus a dedicated race pass over
+# the spin-then-park barrier, a tracing smoke run that must produce valid
+# Chrome trace-event JSON, the robustness drills (ROBUSTNESS.md): the
+# fault-injection suite, a seeded corrupt-checkpoint recovery smoke and a
+# guard NaN-poison smoke, and a serving smoke (SERVING.md): dnnserve on a
+# random port answering a dnnload probe and draining cleanly on SIGTERM.
+# Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,18 +31,24 @@ go build -o "$tmpdir/dnnlint" ./cmd/dnnlint
 "$tmpdir/dnnlint" ./...
 
 # Self-test: the gate is worthless if the linter silently stops seeing
-# violations, so prove it still fires on a known-bad fixture.
-echo "== dnnlint self-test (must flag the seeded violation) =="
-if "$tmpdir/dnnlint" -only parbody -src internal/lint/analyzers/testdata/src \
-	./internal/lint/analyzers/testdata/src/parbody >/dev/null 2>&1; then
-	echo "FAIL: dnnlint exited 0 on the seeded parbody fixture" >&2
-	exit 1
-fi
-if "$tmpdir/dnnlint" -only orderedreduce -src internal/lint/analyzers/testdata/src \
-	./internal/lint/analyzers/testdata/src/orderedreduce >/dev/null 2>&1; then
-	echo "FAIL: dnnlint exited 0 on the seeded orderedreduce fixture (raw cross-rank fold)" >&2
-	exit 1
-fi
+# violations, so prove each invariant still fires on a known-bad fixture.
+# One probe per analyzer, in the catalogue order of LINTING.md §1–5
+# (parbody, orderedreduce, blobalias, hotalloc, tracenil); hotalloc gets
+# a second probe for its serving-path extension (servehot).
+echo "== dnnlint self-test (each seeded violation must be flagged) =="
+lint_probe() { # lint_probe <analyzer> <fixture-pkg>
+	if "$tmpdir/dnnlint" -only "$1" -src internal/lint/analyzers/testdata/src \
+		"./internal/lint/analyzers/testdata/src/$2" >/dev/null 2>&1; then
+		echo "FAIL: dnnlint exited 0 on the seeded $2 fixture (analyzer $1)" >&2
+		exit 1
+	fi
+}
+lint_probe parbody parbody
+lint_probe orderedreduce orderedreduce
+lint_probe blobalias blobalias
+lint_probe hotalloc hotalloc
+lint_probe hotalloc servehot
+lint_probe tracenil tracenil
 echo "seeded violations detected, as required"
 
 echo "== go test =="
@@ -48,9 +57,9 @@ go test ./...
 echo "== go test -run Example (doc examples) =="
 go test -run Example ./...
 
-echo "== go test -race (blas, par, trace, net, core, guard, faultinject) =="
+echo "== go test -race (blas, par, trace, net, core, guard, faultinject, serve) =="
 go test -race -count=1 ./internal/blas ./internal/par ./internal/trace ./internal/net ./internal/core \
-	./internal/guard ./internal/faultinject
+	./internal/guard ./internal/faultinject ./internal/serve
 
 echo "== reduction determinism sweep (OrderedSlices bit-identical across P) =="
 go test -count=1 -run 'TestOrderedSlicesBitIdenticalToOrdered|TestOrderedSlicesMergeBitIdenticalAcrossWorkers' \
@@ -83,5 +92,25 @@ echo "== guard smoke: injected gradient NaN must be caught and skipped =="
 	-samples 8 -batch 8 -display 10 -workers 2 |
 	grep -q "1 faults (1 skipped" || { echo "FAIL: guard missed the injected NaN" >&2; exit 1; }
 echo "injected NaN caught and skipped, as required"
+
+echo "== serving smoke: dnnserve answers a dnnload probe, drains on SIGTERM =="
+go build -o "$tmpdir/dnnserve" ./cmd/dnnserve
+go build -o "$tmpdir/dnnload" ./cmd/dnnload
+"$tmpdir/dnntrain" -zoo lenet -iters 10 -samples 8 -batch 8 -display 10 -workers 2 \
+	-snapshot "$tmpdir/lenet.cgdnn" >/dev/null
+"$tmpdir/dnnserve" -zoo lenet -snapshot "$tmpdir/lenet.cgdnn" \
+	-addr 127.0.0.1:0 -addr-file "$tmpdir/serve.addr" >"$tmpdir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+	[ -s "$tmpdir/serve.addr" ] && break
+	sleep 0.1
+done
+[ -s "$tmpdir/serve.addr" ] || { echo "FAIL: dnnserve never published its address" >&2; cat "$tmpdir/serve.log" >&2; exit 1; }
+"$tmpdir/dnnload" -addr "$(cat "$tmpdir/serve.addr")" -probe ||
+	{ echo "FAIL: dnnload probe rejected the serve response" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "FAIL: dnnserve did not exit cleanly on SIGTERM" >&2; cat "$tmpdir/serve.log" >&2; exit 1; }
+grep -q "draining" "$tmpdir/serve.log" || { echo "FAIL: SIGTERM drain message missing" >&2; exit 1; }
+echo "probe answered and SIGTERM drained, as required"
 
 echo "OK"
