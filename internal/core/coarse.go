@@ -69,7 +69,16 @@ func (s Schedule) String() string {
 // Backward (Algorithm 5): each worker receives private, zero-initialized
 // gradient blobs for the layer's parameters ("object privatization"),
 // processes its static chunk, and the private gradients are merged into
-// the shared parameter diffs by an ordered reduction.
+// the shared parameter diffs. The default OrderedReduction merge is
+// itself parallel: the layer's parameters are viewed as one flat element
+// space, sliced across the team with par.Pool.OrderedSlices, and each
+// worker folds ranks 0..P-1 *in rank order* over its own slice — every
+// element keeps the exact accumulation order of the serial ordered
+// merge, so the result is bit-deterministic for a fixed worker count
+// while the reduce's critical path shrinks by a factor of P. All
+// fork/join edges run on the pool's spin-then-park barrier (par.Pool),
+// not channels. The same rank-ordered fold is what internal/dist
+// stretches across process boundaries (DISTRIBUTED.md).
 //
 // The engine is network-agnostic: it never inspects layer types, only the
 // generic extents/ranges — which is the property that makes the

@@ -1,0 +1,538 @@
+// Package dist is the distributed data-parallel trainer: k full model
+// replicas — one per transport rank, in one process or many — train in
+// lockstep on disjoint shards of every global batch, and a deterministic
+// gradient reduction keeps the k-replica run bit-identical to the
+// single-process replica.Trainer at every replica count, tree shape and
+// transport (DISTRIBUTED.md). It generalizes internal/replica across
+// process boundaries the same way replica generalized the coarse engine
+// across devices.
+//
+// # The reduction and its determinism argument
+//
+// Floating-point addition is not associative, so "sum the gradients" is
+// only reproducible if every element is accumulated in a fixed order.
+// The single-process baselines already enforce one: replica.Trainer
+// folds replica gradients into the master in ascending rank order, and
+// par.Pool.OrderedSlices showed the fold can be element-sliced across
+// workers without changing a bit, because each element still sees
+// ranks 0,1,…,k-1 in order. Package dist reuses exactly that shape as
+// an ordered reduce-scatter: every parameter's element space is sliced
+// across ranks with par.Chunk, each slice owner receives the k-1 peer
+// contributions for its slice and folds them — own gradient included —
+// in ascending rank order, then scales by 1/k. All arithmetic happens
+// at owners; the reduction Tree then only moves finished bytes (reduced
+// slices up to the root, updated weights down), so the tree's fan-out
+// affects latency, never values. The root applies the solver update to
+// the full assembled gradient and broadcasts the new weights bitwise.
+//
+// Consequences, asserted by this package's tests: a k-replica dist run
+// is bit-identical to replica.Trainer with k replicas (same fold, same
+// scale, same update); a 1-replica dist run is bit-identical to plain
+// solver.Step; and Local vs TCP vs any fan-out vs flaky-with-retry all
+// produce the same snapshots to the last bit.
+//
+// # Communication/compute overlap
+//
+// Backward visits layers in reverse order, and a layer's parameter
+// gradients are final as soon as its backward completes. A
+// net.SetBackwardLayerHook fires right there, on the driving goroutine,
+// and ships the finished parameters' gradient slices to their owners
+// while the engine is already computing layer k-1 — transport sends are
+// asynchronous, so the scatter rides inside the backward wall time
+// instead of after it. PhaseComm trace spans make the overlap visible
+// next to the backward spans (OBSERVABILITY.md).
+//
+// # Fault handling
+//
+// Sends that fail with transport.ErrTransient (a flaky link, an
+// injected drop) are retried with bounded exponential backoff; the
+// receiver's dedupe makes retries and duplicates exactly-once, so a
+// seeded transport.Flaky run converges to the bit-identical result or —
+// when the fault budget exceeds the retry budget — fails loudly, never
+// silently diverges. This is the guard/faultinject philosophy
+// (ROBUSTNESS.md) extended to the network.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"coarsegrain/internal/net"
+	"coarsegrain/internal/par"
+	"coarsegrain/internal/solver"
+	"coarsegrain/internal/trace"
+	"coarsegrain/internal/transport"
+)
+
+// RetryConfig bounds the transient-send retry loop.
+type RetryConfig struct {
+	// MaxAttempts is the total number of Send attempts per message
+	// (minimum 1). With the default 16 and a 20% injected drop rate, the
+	// chance of exhausting the budget on one message is ~3e-12.
+	MaxAttempts int
+	// BaseBackoff is the sleep after the first failed attempt; it
+	// doubles per retry up to MaxBackoff.
+	BaseBackoff, MaxBackoff time.Duration
+}
+
+// DefaultRetry returns the retry policy used when Options.Retry is zero.
+func DefaultRetry() RetryConfig {
+	return RetryConfig{MaxAttempts: 16, BaseBackoff: 20 * time.Microsecond, MaxBackoff: 2 * time.Millisecond}
+}
+
+// Options configures a Node.
+type Options struct {
+	// Fanout is the reduction tree's fan-out (default 2).
+	Fanout int
+	// NoOverlap disables the backward-hook scatter: all gradient slices
+	// ship only after the full backward pass. Values are identical
+	// either way (the EXPERIMENTS.md ablation flips this).
+	NoOverlap bool
+	// Retry bounds transient-send retries; zero value = DefaultRetry.
+	Retry RetryConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fanout < 1 {
+		o.Fanout = 2
+	}
+	if o.Retry.MaxAttempts < 1 {
+		o.Retry = DefaultRetry()
+	}
+	if o.Retry.BaseBackoff <= 0 {
+		o.Retry.BaseBackoff = 20 * time.Microsecond
+	}
+	if o.Retry.MaxBackoff < o.Retry.BaseBackoff {
+		o.Retry.MaxBackoff = o.Retry.BaseBackoff
+	}
+	return o
+}
+
+// Node is one rank of a distributed training group. The root (rank 0)
+// owns the solver and the authoritative weights; workers compute shard
+// gradients and route bytes. Every rank calls Step with the same
+// iteration count — the protocol is lockstep.
+type Node struct {
+	tr      transport.Transport
+	network *net.Net
+	sol     *solver.Solver // root only
+	tree    Tree
+	rank    int
+	size    int
+	opts    Options
+	tracer  *trace.Tracer
+
+	// paramOrder is the order gradients become final during backward
+	// (net.BackwardParamOrder) — the canonical scatter/fold/gather
+	// sequence every rank iterates identically.
+	paramOrder []int
+	scale      float32
+	iter       int
+
+	parent   int
+	children []int
+	pre      []int   // own subtree, preorder
+	childPre [][]int // each child's subtree, preorder
+
+	// sent tracks which parameters this iteration's hook has already
+	// scattered; accBuf/recvBuf are reusable max-chunk scratch slices.
+	sent    []bool
+	accBuf  []float32
+	recvBuf []float32
+	hookErr error
+}
+
+// NewRoot creates the coordinator node (transport rank 0): it owns the
+// solver stepping n's weights, assembles the reduced global gradient
+// and broadcasts updates. n must be built exactly like every worker's
+// net (same seed, same architecture) on shard 0 of the global batch.
+func NewRoot(t transport.Transport, n *net.Net, cfg solver.Config, opts Options) (*Node, error) {
+	if t.Rank() != 0 {
+		return nil, fmt.Errorf("dist: root must hold transport rank 0, got %d", t.Rank())
+	}
+	s, err := solver.New(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(t, n, s, opts)
+}
+
+// NewWorker creates a worker node (transport rank ≥ 1): it computes its
+// shard's gradients, participates in the ordered reduce-scatter, routes
+// tree traffic and receives weight broadcasts. Workers have no solver.
+func NewWorker(t transport.Transport, n *net.Net, opts Options) (*Node, error) {
+	if t.Rank() == 0 {
+		return nil, fmt.Errorf("dist: transport rank 0 is the root; use NewRoot")
+	}
+	return newNode(t, n, nil, opts)
+}
+
+func newNode(t transport.Transport, n *net.Net, s *solver.Solver, opts Options) (*Node, error) {
+	opts = opts.withDefaults()
+	size := t.Size()
+	if size < 1 {
+		return nil, fmt.Errorf("dist: transport group size %d", size)
+	}
+	params := n.Params()
+	if len(params) == 0 {
+		return nil, fmt.Errorf("dist: net has no parameters")
+	}
+	if len(params) >= 1<<14 {
+		return nil, fmt.Errorf("dist: %d parameters exceed the tag's param field", len(params))
+	}
+	tree := NewTree(size, opts.Fanout)
+	nd := &Node{
+		tr: t, network: n, sol: s, tree: tree, rank: t.Rank(), size: size,
+		opts: opts, tracer: n.Tracer(),
+		paramOrder: n.BackwardParamOrder(),
+		scale:      1 / float32(size),
+		parent:     tree.Parent(t.Rank()),
+		children:   tree.Children(t.Rank()),
+		pre:        tree.Preorder(t.Rank()),
+		sent:       make([]bool, len(params)),
+	}
+	for _, c := range nd.children {
+		nd.childPre = append(nd.childPre, tree.Preorder(c))
+	}
+	maxChunk := 0
+	for _, p := range params {
+		if lo, hi := par.Chunk(p.Count(), size, 0); hi-lo > maxChunk {
+			maxChunk = hi - lo
+		}
+	}
+	nd.accBuf = make([]float32, maxChunk)
+	nd.recvBuf = make([]float32, maxChunk)
+	return nd, nil
+}
+
+// Rank returns this node's rank.
+func (nd *Node) Rank() int { return nd.rank }
+
+// Size returns the group size.
+func (nd *Node) Size() int { return nd.size }
+
+// Tree returns the reduction topology.
+func (nd *Node) Tree() Tree { return nd.tree }
+
+// Iter returns the completed iteration count.
+func (nd *Node) Iter() int { return nd.iter }
+
+// Net returns the node's network.
+func (nd *Node) Net() *net.Net { return nd.network }
+
+// Solver returns the root's solver (nil on workers) — the handle
+// dnncluster snapshots through, exactly like dnntrain.
+func (nd *Node) Solver() *solver.Solver { return nd.sol }
+
+// Step runs iters lockstep iterations. The root returns the global
+// losses (the rank-ordered mean of replica losses, matching
+// replica.Trainer); workers return their local shard losses. Every
+// rank of the group must call Step with the same iters. A transport
+// error aborts mid-run with the losses completed so far — fail-loud,
+// never silently desynchronized.
+func (nd *Node) Step(iters int) ([]float64, error) {
+	losses := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		loss, err := nd.step()
+		if err != nil {
+			return losses, err
+		}
+		losses = append(losses, loss)
+	}
+	return losses, nil
+}
+
+// step runs one lockstep iteration: scatter (overlapped with backward),
+// fold, loss reduce, tree gather, root update, tree broadcast.
+func (nd *Node) step() (float64, error) {
+	nd.network.ZeroParamDiffs()
+
+	// A single-rank group is plain solver stepping: no communication,
+	// no 1/k scaling — bit-identical to solver.Step by construction.
+	if nd.size == 1 {
+		loss := nd.network.ForwardBackward()
+		nd.sol.UpdateFromGradients()
+		nd.iter++
+		return loss, nil
+	}
+
+	// Compute + scatter. The hook fires after each layer's backward
+	// with its finalized parameter range; slices ship to their owners
+	// while the engine is still on earlier layers.
+	for i := range nd.sent {
+		nd.sent[i] = false
+	}
+	nd.hookErr = nil
+	if !nd.opts.NoOverlap {
+		nd.network.SetBackwardLayerHook(func(lo, hi int) {
+			if nd.hookErr != nil {
+				return
+			}
+			for p := lo; p < hi; p++ {
+				if err := nd.scatterParam(p); err != nil {
+					nd.hookErr = err
+					return
+				}
+			}
+		})
+	}
+	loss := nd.network.ForwardBackward()
+	nd.network.SetBackwardLayerHook(nil)
+	if nd.hookErr != nil {
+		return 0, nd.hookErr
+	}
+	// Whatever the hook did not cover (all of it under NoOverlap) ships
+	// now, in the same canonical order.
+	for _, p := range nd.paramOrder {
+		if !nd.sent[p] {
+			if err := nd.scatterParam(p); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// Workers report their shard loss to the root (as raw float64 bits,
+	// so the global mean is computed from exact values).
+	if nd.rank != 0 {
+		lossBits := encodeF64(loss)
+		tag := transport.MakeTag(transport.KindLoss, nd.iter, 0, nd.rank)
+		if err := nd.sendRetry(0, tag, lossBits[:]); err != nil {
+			return 0, err
+		}
+	}
+
+	// Fold: own every slice this rank is responsible for.
+	foldStart := nd.now()
+	folded := 0
+	for _, p := range nd.paramOrder {
+		n, err := nd.foldParam(p)
+		if err != nil {
+			return 0, err
+		}
+		folded += n
+	}
+	nd.span("fold", -1, folded, foldStart)
+
+	// Global loss at the root: the rank-ordered sum replica.Trainer
+	// computes, divided by k.
+	globalLoss := loss
+	if nd.rank == 0 {
+		sum := loss
+		var bits [2]float32
+		for r := 1; r < nd.size; r++ {
+			tag := transport.MakeTag(transport.KindLoss, nd.iter, 0, r)
+			if err := nd.tr.Recv(r, tag, bits[:]); err != nil {
+				return 0, fmt.Errorf("dist: loss from rank %d: %w", r, err)
+			}
+			sum += decodeF64(bits)
+		}
+		globalLoss = sum / float64(nd.size)
+	}
+
+	// Gather the reduced slices up the tree, update at the root,
+	// broadcast the new weights down.
+	if err := nd.gather(); err != nil {
+		return 0, err
+	}
+	if nd.rank == 0 {
+		nd.sol.UpdateFromGradients()
+	}
+	if err := nd.bcast(); err != nil {
+		return 0, err
+	}
+	nd.iter++
+	return globalLoss, nil
+}
+
+// scatterParam ships parameter pi's gradient slices to their owners
+// (asynchronously; the transport queues them). Safe to call from the
+// backward hook: it runs on the driving goroutine between engine calls,
+// so the trace single-writer contract holds.
+func (nd *Node) scatterParam(pi int) error {
+	nd.sent[pi] = true
+	p := nd.network.Params()[pi]
+	diff := p.Diff()
+	start := nd.now()
+	shipped := 0
+	for o := 0; o < nd.size; o++ {
+		if o == nd.rank {
+			continue
+		}
+		lo, hi := par.Chunk(p.Count(), nd.size, o)
+		if lo == hi {
+			continue
+		}
+		tag := transport.MakeTag(transport.KindGrad, nd.iter, pi, nd.rank)
+		if err := nd.sendRetry(o, tag, diff[lo:hi]); err != nil {
+			return err
+		}
+		shipped += hi - lo
+	}
+	nd.span("scatter", -1, shipped, start)
+	return nil
+}
+
+// foldParam reduces this rank's slice of parameter pi: contributions
+// from ranks 0..size-1 are folded in ascending rank order — the exact
+// per-element accumulation order of replica.Trainer's combine and of
+// par.Pool.OrderedSlices — then scaled by 1/k, in place. Returns the
+// slice's element count.
+func (nd *Node) foldParam(pi int) (int, error) {
+	p := nd.network.Params()[pi]
+	lo, hi := par.Chunk(p.Count(), nd.size, nd.rank)
+	if lo == hi {
+		return 0, nil
+	}
+	n := hi - lo
+	acc := nd.accBuf[:n]
+	tmp := nd.recvBuf[:n]
+	diff := p.Diff()
+	for r := 0; r < nd.size; r++ {
+		src := tmp
+		if r == nd.rank {
+			src = diff[lo:hi]
+		} else {
+			tag := transport.MakeTag(transport.KindGrad, nd.iter, pi, r)
+			if err := nd.tr.Recv(r, tag, tmp); err != nil {
+				return 0, fmt.Errorf("dist: gradient slice of param %d from rank %d: %w", pi, r, err)
+			}
+		}
+		if r == 0 {
+			copy(acc, src)
+		} else {
+			for i, v := range src {
+				acc[i] += v
+			}
+		}
+	}
+	for i := range acc {
+		acc[i] *= nd.scale
+	}
+	copy(diff[lo:hi], acc)
+	return n, nil
+}
+
+// gather routes every reduced slice to the root through the tree: for
+// each parameter (canonical order), a node receives its children's
+// subtree slices into the gradient buffer, then forwards its whole
+// subtree — own slice first, children in preorder — to its parent.
+// Pure byte movement: no arithmetic, so tree shape cannot change bits.
+func (nd *Node) gather() error {
+	start := nd.now()
+	moved := 0
+	for _, pi := range nd.paramOrder {
+		p := nd.network.Params()[pi]
+		diff := p.Diff()
+		for ci, c := range nd.children {
+			for _, s := range nd.childPre[ci] {
+				lo, hi := par.Chunk(p.Count(), nd.size, s)
+				if lo == hi {
+					continue
+				}
+				tag := transport.MakeTag(transport.KindGather, nd.iter, pi, s)
+				if err := nd.tr.Recv(c, tag, diff[lo:hi]); err != nil {
+					return fmt.Errorf("dist: gather of param %d slice %d from child %d: %w", pi, s, c, err)
+				}
+				moved += hi - lo
+			}
+		}
+		if nd.parent >= 0 {
+			for _, s := range nd.pre {
+				lo, hi := par.Chunk(p.Count(), nd.size, s)
+				if lo == hi {
+					continue
+				}
+				tag := transport.MakeTag(transport.KindGather, nd.iter, pi, s)
+				if err := nd.sendRetry(nd.parent, tag, diff[lo:hi]); err != nil {
+					return err
+				}
+				moved += hi - lo
+			}
+		}
+	}
+	nd.span("gather", nd.parent, moved, start)
+	return nil
+}
+
+// bcast routes the root's updated weights down the tree: each node
+// receives every parameter tensor from its parent (bitwise copies of
+// the master weights) and forwards it to its children.
+func (nd *Node) bcast() error {
+	start := nd.now()
+	moved := 0
+	for pi, p := range nd.network.Params() {
+		data := p.Data()
+		tag := transport.MakeTag(transport.KindBcast, nd.iter, pi, 0)
+		if nd.parent >= 0 {
+			if err := nd.tr.Recv(nd.parent, tag, data); err != nil {
+				return fmt.Errorf("dist: broadcast of param %d from rank %d: %w", pi, nd.parent, err)
+			}
+			moved += len(data)
+		}
+		for _, c := range nd.children {
+			if err := nd.sendRetry(c, tag, data); err != nil {
+				return err
+			}
+			moved += len(data)
+		}
+	}
+	nd.span("bcast", nd.parent, moved, start)
+	return nil
+}
+
+// sendRetry sends with bounded exponential backoff on transient
+// failures; any other error is fatal and returned as-is.
+func (nd *Node) sendRetry(to int, tag transport.Tag, payload []float32) error {
+	backoff := nd.opts.Retry.BaseBackoff
+	var err error
+	for attempt := 0; attempt < nd.opts.Retry.MaxAttempts; attempt++ {
+		if err = nd.tr.Send(to, tag, payload); err == nil || !errors.Is(err, transport.ErrTransient) {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > nd.opts.Retry.MaxBackoff {
+			backoff = nd.opts.Retry.MaxBackoff
+		}
+	}
+	return fmt.Errorf("dist: send %v to rank %d failed after %d attempts: %w",
+		tag, to, nd.opts.Retry.MaxAttempts, err)
+}
+
+// now reads the tracer clock (zero when tracing is off).
+func (nd *Node) now() time.Time {
+	if !nd.tracer.Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// span records one PhaseComm driver span. peer is stored in Band (-1
+// for many-peer phases), the element count in Hi.
+func (nd *Node) span(name string, peer, elems int, start time.Time) {
+	if !nd.tracer.Enabled() {
+		return
+	}
+	nd.tracer.Record(trace.Span{
+		Name: name, Phase: trace.PhaseComm, Rank: trace.RankDriver, Band: peer,
+		Lo: 0, Hi: elems, Start: nd.tracer.Stamp(start), Dur: time.Since(start),
+	})
+}
+
+// encodeF64 packs a float64's bits into two float32 payload slots
+// (high word first) so scalar losses cross the float32 transport
+// without rounding; decodeF64 inverts it. Pure bit reinterpretation —
+// no floating-point arithmetic touches the values.
+func encodeF64(v float64) [2]float32 {
+	b := math.Float64bits(v)
+	return [2]float32{
+		math.Float32frombits(uint32(b >> 32)),
+		math.Float32frombits(uint32(b)),
+	}
+}
+
+func decodeF64(bits [2]float32) float64 {
+	b := uint64(math.Float32bits(bits[0]))<<32 | uint64(math.Float32bits(bits[1]))
+	return math.Float64frombits(b)
+}

@@ -1,0 +1,63 @@
+package net
+
+import "testing"
+
+func TestBackwardLayerHookCoversParamsInReverseOrder(t *testing.T) {
+	n := tinyNet(t, 4, 3, nil)
+	n.Forward()
+	var ranges [][2]int
+	n.SetBackwardLayerHook(func(lo, hi int) { ranges = append(ranges, [2]int{lo, hi}) })
+	n.Backward()
+
+	// tinyNet has two parameterized layers: conv1 (params 0,1) and ip1
+	// (params 2,3). Backward visits ip1 first.
+	want := [][2]int{{2, 4}, {0, 2}}
+	if len(ranges) != len(want) {
+		t.Fatalf("hook fired %d times (%v), want %d", len(ranges), ranges, len(want))
+	}
+	for i := range want {
+		if ranges[i] != want[i] {
+			t.Fatalf("hook call %d = %v, want %v (full sequence %v)", i, ranges[i], want[i], ranges)
+		}
+	}
+
+	// Detach: no further calls.
+	n.SetBackwardLayerHook(nil)
+	before := len(ranges)
+	n.Backward()
+	if len(ranges) != before {
+		t.Fatal("hook fired after detach")
+	}
+}
+
+func TestBackwardParamOrderMatchesHookOrder(t *testing.T) {
+	n := tinyNet(t, 4, 4, nil)
+	n.Forward()
+	var fromHook []int
+	n.SetBackwardLayerHook(func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			fromHook = append(fromHook, p)
+		}
+	})
+	n.Backward()
+
+	order := n.BackwardParamOrder()
+	if len(order) != len(n.Params()) {
+		t.Fatalf("BackwardParamOrder has %d entries, want %d", len(order), len(n.Params()))
+	}
+	seen := make(map[int]bool)
+	for _, p := range order {
+		if seen[p] {
+			t.Fatalf("param %d appears twice in %v", p, order)
+		}
+		seen[p] = true
+	}
+	if len(fromHook) != len(order) {
+		t.Fatalf("hook delivered %v, order is %v", fromHook, order)
+	}
+	for i := range order {
+		if fromHook[i] != order[i] {
+			t.Fatalf("hook sequence %v disagrees with BackwardParamOrder %v at %d", fromHook, order, i)
+		}
+	}
+}

@@ -38,6 +38,14 @@ type Net struct {
 
 	params     []*blob.Blob
 	paramNames []string
+	// paramLo[i] is the index into params of layer i's first parameter;
+	// layer i owns params[paramLo[i]:paramLo[i+1]] (params are appended
+	// in spec order, so each layer's range is contiguous).
+	paramLo []int
+
+	// backwardHook, when set, fires after each layer's backward pass
+	// with the layer's parameter index range — see SetBackwardLayerHook.
+	backwardHook func(lo, hi int)
 
 	// lossIdx lists the indices of layers implementing LossWeighter.
 	lossIdx []int
@@ -136,6 +144,7 @@ func build(specs []LayerSpec, engine core.Engine, forwardOnly bool) (*Net, error
 		n.bottoms = append(n.bottoms, bots)
 		n.tops = append(n.tops, tops)
 
+		n.paramLo = append(n.paramLo, len(n.params))
 		for pi, p := range spec.Layer.Params() {
 			n.params = append(n.params, p)
 			n.paramNames = append(n.paramNames, fmt.Sprintf("%s[%d]", name, pi))
@@ -183,6 +192,7 @@ func build(specs []LayerSpec, engine core.Engine, forwardOnly bool) (*Net, error
 			}
 		}
 	}
+	n.paramLo = append(n.paramLo, len(n.params))
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("net: no layers")
 	}
@@ -385,6 +395,38 @@ func (n *Net) Loss() float64 {
 	return loss
 }
 
+// SetBackwardLayerHook registers h to fire after each layer's backward
+// pass completes, with the half-open range [lo, hi) of indices into
+// Params() whose gradients just became final (nil detaches). The
+// backward pass visits layers in reverse topological order and each
+// parameter's gradient is written only by its owning layer, so once a
+// layer's backward returns its parameter gradients will not change
+// again this iteration — which is what lets a distributed trainer ship
+// layer k's gradient slices while the engine is still on layer k-1
+// (the comm/compute overlap of DISTRIBUTED.md). The hook runs on the
+// driving goroutine between engine calls and fires only for layers
+// that own parameters.
+func (n *Net) SetBackwardLayerHook(h func(lo, hi int)) { n.backwardHook = h }
+
+// BackwardParamOrder returns the indices into Params() in the order
+// their gradients become final during Backward — the canonical send
+// order of the distributed gradient scatter (last layer's parameters
+// first, ascending within a layer).
+func (n *Net) BackwardParamOrder() []int {
+	order := make([]int, len(n.params))
+	k := 0
+	for i := len(n.specs) - 1; i >= 0; i-- {
+		if !n.needsBackward[i] {
+			continue
+		}
+		for p := n.paramLo[i]; p < n.paramLo[i+1]; p++ {
+			order[k] = p
+			k++
+		}
+	}
+	return order[:k]
+}
+
 // Backward runs the full backward pass (Algorithm 1 lines 8-10), seeding
 // each loss layer's top gradient with its loss weight. Parameter gradients
 // ACCUMULATE; call ZeroParamDiffs first (the solver does).
@@ -413,6 +455,9 @@ func (n *Net) Backward() {
 				n.recorder.Add(n.specs[i].Layer.Name(), profile.Backward, d)
 			}
 			n.recordLayerSpan(i, trace.PhaseBackward, start, d)
+		}
+		if n.backwardHook != nil && n.paramLo[i+1] > n.paramLo[i] {
+			n.backwardHook(n.paramLo[i], n.paramLo[i+1])
 		}
 	}
 }

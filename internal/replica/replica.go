@@ -8,9 +8,15 @@
 // concurrently, each with its own execution engine (so batch-level
 // coarse-grain parallelism composes with cross-device parallelism exactly
 // as OpenMP-within-a-GPU-server composes with multiple GPUs). After every
-// iteration the per-replica gradients are combined *in replica order* —
-// the cross-device analogue of the ordered reduction — scaled by 1/R, and
-// applied to the master weights, which are then broadcast back.
+// iteration the per-replica gradients are combined *in ascending replica
+// order* — per element, replica 1's contribution is added to replica 0's,
+// then replica 2's, and so on, the same rank-ordered fold that
+// par.Pool.OrderedSlices uses inside the coarse engine's reduce — scaled
+// by 1/R, and applied to the master weights, which are then broadcast
+// back bitwise. The fixed fold order is what makes an R-replica run
+// bit-reproducible, and it is the exact contract internal/dist carries
+// across process boundaries: a k-rank distributed run is asserted
+// bit-identical to this trainer with k replicas (DISTRIBUTED.md).
 //
 // Because shard gradients sum to exactly the global-batch gradient, no
 // training parameter changes: the trainer's loss trace matches a
@@ -42,9 +48,7 @@ type Trainer struct {
 	replicas []*net.Net
 	master   *net.Net // replicas[0]; owns the authoritative weights
 	solver   *solver.Solver
-	// grads holds each replica's parameter-gradient snapshot between the
-	// parallel compute phase and the ordered combine.
-	scale float32
+	scale    float32 // 1/R, applied after the ordered combine
 }
 
 // New creates a trainer over the given replicas. All replicas must have

@@ -1,0 +1,119 @@
+package simtime
+
+import "testing"
+
+func TestTreeDepth(t *testing.T) {
+	cases := []struct{ n, fanout, want int }{
+		{1, 2, 0},
+		{2, 2, 1},
+		{3, 2, 1},
+		{4, 2, 2},
+		{7, 2, 2},
+		{8, 2, 3},
+		{4, 3, 1},
+		{5, 3, 2},
+		{4, 1, 3},
+		{16, 4, 2},
+	}
+	for _, c := range cases {
+		if got := TreeDepth(c.n, c.fanout); got != c.want {
+			t.Errorf("TreeDepth(%d, %d) = %d, want %d", c.n, c.fanout, got, c.want)
+		}
+	}
+}
+
+func lenetLikeWorkload() ClusterWorkload {
+	return ClusterWorkload{
+		ComputeUS:    400_000, // LeNet batch 64 iteration on one container core
+		BackwardFrac: 0.55,
+		ParamElems:   431_080,
+		ParamTensors: 8,
+	}
+}
+
+func TestPredictSingleReplicaIsBaseline(t *testing.T) {
+	m := LocalCluster(4)
+	p := m.Predict(lenetLikeWorkload(), 1, 2)
+	if p.Speedup != 1 {
+		t.Fatalf("k=1 speedup = %v, want exactly 1", p.Speedup)
+	}
+	if p.ScatterUS != 0 || p.TreeUS != 0 {
+		t.Fatalf("k=1 pays communication: %+v", p)
+	}
+}
+
+func TestPredictScalesWithCores(t *testing.T) {
+	w := lenetLikeWorkload()
+	m := LocalCluster(16)
+	s2 := m.ClusterSpeedup(w, 2, 2)
+	s4 := m.ClusterSpeedup(w, 4, 2)
+	s8 := m.ClusterSpeedup(w, 8, 2)
+	if !(s2 > 1.5 && s4 > s2 && s8 > s4) {
+		t.Fatalf("compute-bound workload should scale: s2=%v s4=%v s8=%v", s2, s4, s8)
+	}
+	if s8 >= 8 {
+		t.Fatalf("speedup %v exceeds ideal — communication cost vanished", s8)
+	}
+}
+
+func TestPredictOversubscribedHostDoesNotSpeedUp(t *testing.T) {
+	// One core hosting k replicas: compute cannot shrink, communication
+	// only adds — the model must predict speedup ≤ 1 (this is the
+	// acceptance scenario for the container measurement).
+	m := LocalCluster(1)
+	for _, k := range []int{2, 4} {
+		p := m.Predict(lenetLikeWorkload(), k, 2)
+		if p.Speedup > 1 {
+			t.Fatalf("k=%d on 1 core predicts speedup %v > 1", k, p.Speedup)
+		}
+		if p.Speedup < 0.5 {
+			t.Fatalf("k=%d on 1 core predicts speedup %v — comm overhead implausibly large", k, p.Speedup)
+		}
+	}
+}
+
+func TestPredictTermsCompose(t *testing.T) {
+	m := LocalCluster(4)
+	p := m.Predict(lenetLikeWorkload(), 4, 2)
+	sum := p.ComputeUS + (p.ScatterUS - p.HiddenUS) + p.TreeUS
+	if p.TotalUS != sum {
+		t.Fatalf("TotalUS %v != composed terms %v", p.TotalUS, sum)
+	}
+	if p.HiddenUS > p.ScatterUS {
+		t.Fatalf("hidden %v exceeds scatter %v", p.HiddenUS, p.ScatterUS)
+	}
+	if p.TreeDepth != 2 {
+		t.Fatalf("tree depth %d, want 2", p.TreeDepth)
+	}
+}
+
+func TestPredictSlowLinkHurts(t *testing.T) {
+	w := lenetLikeWorkload()
+	fast := ClusterMachine{Cores: 16, LinkMBps: 3000, LatencyUS: 8, OverlapFraction: 0.5}
+	slow := fast
+	slow.LinkMBps = 10
+	if sf, ss := fast.ClusterSpeedup(w, 8, 2), slow.ClusterSpeedup(w, 8, 2); ss >= sf {
+		t.Fatalf("slow link speedup %v >= fast link %v", ss, sf)
+	}
+}
+
+func TestPredictTreeBeatsFlatStarAtScale(t *testing.T) {
+	// FireCaffe's core claim: at large k on a latency-bound network, a
+	// log-depth tree gathers faster than a flat star (fanout k-1 ⇒ the
+	// root ingests everything in one level... which the model prices as
+	// depth-1 but the scatter's (k-1) per-message latency dominates).
+	// Here: compare the tree term directly across fan-outs at fixed k.
+	m := ClusterMachine{Cores: 64, LinkMBps: 110, LatencyUS: 50, OverlapFraction: 0}
+	w := lenetLikeWorkload()
+	deep := m.Predict(w, 64, 2)  // depth 6
+	flat := m.Predict(w, 64, 63) // depth 1
+	if deep.TreeDepth <= flat.TreeDepth {
+		t.Fatalf("depths: tree %d vs flat %d", deep.TreeDepth, flat.TreeDepth)
+	}
+	// Both must remain finite and positive; the relative ranking of the
+	// full iteration depends on the byte/latency balance, which is the
+	// point of having a model at all.
+	if deep.TotalUS <= 0 || flat.TotalUS <= 0 {
+		t.Fatalf("degenerate totals: %+v vs %+v", deep, flat)
+	}
+}

@@ -121,11 +121,29 @@ type ChromeStats struct {
 	WallUS float64
 }
 
+// knownPhases lists every category the exporters emit — the String()
+// form of each Phase. ValidateChromeTrace rejects spans outside this
+// list, so adding a Phase without updating the validator (and the
+// OBSERVABILITY.md phase table) fails CI's trace smoke instead of
+// shipping unlabeled spans.
+var knownPhases = map[string]bool{
+	"forward":   true,
+	"backward":  true,
+	"reduce":    true,
+	"update":    true,
+	"iteration": true,
+	"region":    true,
+	"guard":     true,
+	"serve":     true,
+	"comm":      true,
+}
+
 // ValidateChromeTrace parses trace-event JSON from r and checks the
 // invariants the exporters guarantee: a non-empty traceEvents array,
-// every complete event carrying a name and non-negative ts/dur, and a
-// consistent pid. It is the "tiny Go check" scripts/check.sh runs over
-// the dnnbench smoke trace (via cmd/tracecheck).
+// every complete event carrying a name, a known phase category and
+// non-negative ts/dur, and a consistent pid. It is the "tiny Go check"
+// scripts/check.sh runs over the dnnbench smoke trace (via
+// cmd/tracecheck).
 func ValidateChromeTrace(r io.Reader) (ChromeStats, error) {
 	var doc chromeTrace
 	dec := json.NewDecoder(r)
@@ -153,6 +171,9 @@ func ValidateChromeTrace(r io.Reader) (ChromeStats, error) {
 		case "X":
 			if ev.TS < 0 || ev.Dur < 0 {
 				return stats, fmt.Errorf("trace: event %d (%s) has negative ts/dur", i, ev.Name)
+			}
+			if !knownPhases[ev.Cat] {
+				return stats, fmt.Errorf("trace: event %d (%s) has unknown phase category %q", i, ev.Name, ev.Cat)
 			}
 			stats.Complete++
 			if first || ev.TS < minTS {

@@ -120,11 +120,36 @@ func TestValidateRejectsGarbage(t *testing.T) {
 		"negative ts":  `{"traceEvents":[{"name":"a","ph":"X","ts":-4,"pid":1,"tid":0}]}`,
 		"meta only":    `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0}]}`,
 		"wrong pid":    `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":7,"tid":0}]}`,
+		"unknown cat":  `{"traceEvents":[{"name":"a","cat":"teleport","ph":"X","ts":1,"pid":1,"tid":0}]}`,
 	}
 	for label, doc := range cases {
 		if _, err := ValidateChromeTrace(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: validated", label)
 		}
+	}
+}
+
+func TestValidateAcceptsEveryPhase(t *testing.T) {
+	// Every Phase the tracer can record must export under a category the
+	// validator knows — this is the guard that keeps the known-phase
+	// list, the Phase enum and the OBSERVABILITY.md table in sync.
+	tr := New(1)
+	for p := PhaseForward; p <= PhaseComm; p++ {
+		tr.Record(Span{Name: "x", Phase: p, Rank: RankDriver, Band: -1,
+			Start: time.Duration(p) * time.Microsecond, Dur: time.Microsecond})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("a recordable phase fails validation: %v", err)
+	}
+}
+
+func TestCommPhaseStrings(t *testing.T) {
+	if PhaseComm.String() != "comm" || PhaseComm.short() != "comm" {
+		t.Fatalf("PhaseComm renders %q/%q", PhaseComm.String(), PhaseComm.short())
 	}
 }
 

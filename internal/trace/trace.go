@@ -67,6 +67,13 @@ const (
 	// latency. Batch spans carry the batch size in Hi; request spans
 	// carry the request's batch slot in Lo.
 	PhaseServe
+	// PhaseComm is a distributed-communication interval (internal/dist):
+	// shipping a gradient slice, waiting on a peer's contribution, or
+	// routing reduced slices / updated weights through the reduction
+	// tree. Spans carry the element count in Hi and the peer rank in
+	// Band, so the comm/compute overlap (DISTRIBUTED.md) is visible on
+	// the timeline next to the backward spans it hides behind.
+	PhaseComm
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +93,8 @@ func (p Phase) String() string {
 		return "guard"
 	case PhaseServe:
 		return "serve"
+	case PhaseComm:
+		return "comm"
 	default:
 		return "region"
 	}
@@ -108,6 +117,8 @@ func (p Phase) short() string {
 		return "guard"
 	case PhaseServe:
 		return "srv"
+	case PhaseComm:
+		return "comm"
 	default:
 		return "region"
 	}

@@ -1,0 +1,80 @@
+package transport
+
+import "sync/atomic"
+
+// Local is the in-process Transport: every rank lives in the same
+// process (one goroutine per replica, as in internal/replica) and links
+// are plain shared-memory FIFOs. It is the reference fabric — fully
+// deterministic in the values it delivers, race-testable, and free of
+// real I/O so simtime can model a run over it — and it is what
+// dnncluster's single-process mode and the dist test suite use. The TCP
+// transport must be observationally identical to it.
+type Local struct {
+	rank, size int
+	// boxes is the group-shared link matrix: boxes[to][from] is the
+	// inbox rank `to` reads frames from rank `from` out of.
+	boxes  [][]*inbox
+	closed atomic.Bool
+}
+
+var _ Transport = (*Local)(nil)
+
+// NewLocalGroup creates a fully-wired in-process group of size ranks
+// and returns one endpoint per rank. size must be >= 1.
+func NewLocalGroup(size int) []*Local {
+	if size < 1 {
+		panic("transport: group size must be >= 1")
+	}
+	boxes := make([][]*inbox, size)
+	for to := range boxes {
+		boxes[to] = make([]*inbox, size)
+		for from := range boxes[to] {
+			boxes[to][from] = newInbox()
+		}
+	}
+	group := make([]*Local, size)
+	for r := range group {
+		group[r] = &Local{rank: r, size: size, boxes: boxes}
+	}
+	return group
+}
+
+// Rank implements Transport.
+func (l *Local) Rank() int { return l.rank }
+
+// Size implements Transport.
+func (l *Local) Size() int { return l.size }
+
+// Send implements Transport: it copies payload and enqueues it on the
+// (rank → to) link without blocking.
+func (l *Local) Send(to int, tag Tag, payload []float32) error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= l.size || to == l.rank {
+		return &PeerError{Op: "send", Rank: l.rank, Peer: to, Size: l.size}
+	}
+	l.boxes[to][l.rank].push(frame{tag: tag, payload: append([]float32(nil), payload...)})
+	return nil
+}
+
+// Recv implements Transport.
+func (l *Local) Recv(from int, tag Tag, buf []float32) error {
+	if from < 0 || from >= l.size || from == l.rank {
+		return &PeerError{Op: "recv", Rank: l.rank, Peer: from, Size: l.size}
+	}
+	return l.boxes[l.rank][from].recv(from, tag, buf)
+}
+
+// Close implements Transport: it closes this rank's inboxes, unblocking
+// its pending Recvs with ErrClosed. Other ranks' endpoints are
+// unaffected.
+func (l *Local) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	for _, ib := range l.boxes[l.rank] {
+		ib.close()
+	}
+	return nil
+}

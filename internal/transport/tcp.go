@@ -1,0 +1,456 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	gonet "net"
+	"sync"
+	"sync/atomic"
+)
+
+// The TCP wire protocol, v1 (DISTRIBUTED.md):
+//
+// Rendezvous (length-prefixed JSON control messages, u32 LE length):
+//
+//	worker → coordinator  {"type":"join","addr":"<mesh listen addr>"}
+//	coordinator → worker  {"type":"assign","rank":r,"size":k,"addrs":[...]}
+//	worker → worker       {"type":"hello","rank":r}   (on each mesh dial)
+//
+// The coordinator is rank 0; it assigns worker ranks 1..k-1 in join
+// order and its join connections become its mesh links. Workers listen
+// for mesh peers before joining, then rank r dials every lower worker
+// rank and accepts every higher one — an acyclic dial order, so the
+// mesh always completes.
+//
+// Data frames (after rendezvous, both directions on every link):
+//
+//	tag     u64 LE   (see Tag)
+//	count   u32 LE   (payload length in float32s)
+//	payload count × float32 LE
+//
+// Everything is little-endian to match the snapshot format (CGDNN).
+
+// maxFrameElems bounds a frame's declared payload length; anything
+// larger is a corrupt or hostile header, not a real tensor.
+const maxFrameElems = 1 << 26
+
+// maxCtrlLen bounds a control message's declared length.
+const maxCtrlLen = 1 << 20
+
+// ctrlMsg is the JSON rendezvous message.
+type ctrlMsg struct {
+	Type  string   `json:"type"`
+	Addr  string   `json:"addr,omitempty"`
+	Rank  int      `json:"rank,omitempty"`
+	Size  int      `json:"size,omitempty"`
+	Addrs []string `json:"addrs,omitempty"`
+}
+
+func writeCtrl(w io.Writer, m ctrlMsg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+func readCtrl(r io.Reader, wantType string) (ctrlMsg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return ctrlMsg{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxCtrlLen {
+		return ctrlMsg{}, fmt.Errorf("transport: control message length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return ctrlMsg{}, err
+	}
+	var m ctrlMsg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return ctrlMsg{}, fmt.Errorf("transport: bad control message: %w", err)
+	}
+	if m.Type != wantType {
+		return ctrlMsg{}, fmt.Errorf("transport: control message type %q, want %q", m.Type, wantType)
+	}
+	return m, nil
+}
+
+// encodeFrame serializes one data frame.
+func encodeFrame(tag Tag, payload []float32) []byte {
+	b := make([]byte, 12+4*len(payload))
+	binary.LittleEndian.PutUint64(b, uint64(tag))
+	binary.LittleEndian.PutUint32(b[8:], uint32(len(payload)))
+	for i, v := range payload {
+		binary.LittleEndian.PutUint32(b[12+4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+// tcpWriter is one link's outbound queue. Send enqueues encoded frames
+// and returns immediately; a dedicated goroutine drains the queue onto
+// the socket, so a full kernel buffer can never block the training
+// goroutine (and, because every peer's reader goroutine always drains,
+// the socket itself can never jam the mesh into a deadlock).
+type tcpWriter struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	err    error
+	closed bool
+}
+
+func newTCPWriter() *tcpWriter {
+	w := &tcpWriter{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *tcpWriter) enqueue(b []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	w.queue = append(w.queue, b)
+	w.cond.Signal()
+	return nil
+}
+
+// loop drains the queue onto conn until closed (after a final flush) or
+// a write error (recorded for subsequent enqueues).
+func (w *tcpWriter) loop(conn gonet.Conn) {
+	bw := bufio.NewWriter(conn)
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed && w.err == nil {
+			// Opportunistically flush buffered bytes before sleeping.
+			w.mu.Unlock()
+			if err := bw.Flush(); err != nil {
+				w.fail(err)
+				return
+			}
+			w.mu.Lock()
+			if len(w.queue) == 0 && !w.closed && w.err == nil {
+				w.cond.Wait()
+			}
+		}
+		if w.err != nil || (w.closed && len(w.queue) == 0) {
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			bw.Flush()
+			return
+		}
+		b := w.queue[0]
+		w.queue[0] = nil
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+		if _, err := bw.Write(b); err != nil {
+			w.fail(err)
+			return
+		}
+	}
+}
+
+func (w *tcpWriter) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = fmt.Errorf("transport: write: %w", err)
+	}
+	w.queue = nil
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// closeFlush marks the writer closed and waits until the loop has
+// drained the queue (or failed), so Close never cuts off in-flight
+// frames.
+func (w *tcpWriter) closeFlush() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	for len(w.queue) > 0 && w.err == nil {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// TCP is the cross-process Transport: a full mesh of TCP connections
+// carrying length-prefixed binary frames, built by a coordinator
+// rendezvous (NewCoordinator on rank 0, DialTCP on workers). Delivery
+// semantics are identical to Local — per-link FIFO with duplicate and
+// stale-frame discard — so a distributed run over TCP is bit-identical
+// to the same run over the in-process fabric.
+type TCP struct {
+	rank, size int
+	conns      []gonet.Conn // conns[peer]; nil at own rank
+	writers    []*tcpWriter
+	inboxes    []*inbox
+	closed     atomic.Bool
+	readers    sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// newTCP wires the loops over an established mesh. conns[rank] must be
+// nil and every other entry a live connection.
+func newTCP(rank int, conns []gonet.Conn) *TCP {
+	t := &TCP{rank: rank, size: len(conns), conns: conns,
+		writers: make([]*tcpWriter, len(conns)), inboxes: make([]*inbox, len(conns))}
+	for peer, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		t.writers[peer] = newTCPWriter()
+		t.inboxes[peer] = newInbox()
+		go t.writers[peer].loop(conn)
+		t.readers.Add(1)
+		go t.readLoop(peer, conn)
+	}
+	return t
+}
+
+// readLoop drains one link, pushing frames into its inbox. Always
+// draining is what guarantees the mesh cannot deadlock on full socket
+// buffers.
+func (t *TCP) readLoop(peer int, conn gonet.Conn) {
+	defer t.readers.Done()
+	br := bufio.NewReader(conn)
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			t.linkDown(peer, err)
+			return
+		}
+		tag := Tag(binary.LittleEndian.Uint64(hdr[:8]))
+		n := binary.LittleEndian.Uint32(hdr[8:])
+		if n > maxFrameElems {
+			t.linkDown(peer, fmt.Errorf("transport: frame from rank %d declares %d elements", peer, n))
+			return
+		}
+		raw := make([]byte, 4*n)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			t.linkDown(peer, err)
+			return
+		}
+		payload := make([]float32, n)
+		for i := range payload {
+			payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		t.inboxes[peer].push(frame{tag: tag, payload: payload})
+	}
+}
+
+// linkDown ends a link: a close-time EOF just closes the inbox, an
+// unexpected failure poisons it so pending Recvs fail loudly.
+func (t *TCP) linkDown(peer int, err error) {
+	if t.closed.Load() {
+		t.inboxes[peer].close()
+		return
+	}
+	t.inboxes[peer].fail(fmt.Errorf("transport: link to rank %d: %w", peer, err))
+}
+
+// Rank implements Transport.
+func (t *TCP) Rank() int { return t.rank }
+
+// Size implements Transport.
+func (t *TCP) Size() int { return t.size }
+
+// Send implements Transport: it serializes the frame and enqueues it on
+// the link's writer without waiting for the socket.
+func (t *TCP) Send(to int, tag Tag, payload []float32) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= t.size || to == t.rank {
+		return &PeerError{Op: "send", Rank: t.rank, Peer: to, Size: t.size}
+	}
+	return t.writers[to].enqueue(encodeFrame(tag, payload))
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv(from int, tag Tag, buf []float32) error {
+	if from < 0 || from >= t.size || from == t.rank {
+		return &PeerError{Op: "recv", Rank: t.rank, Peer: from, Size: t.size}
+	}
+	return t.inboxes[from].recv(from, tag, buf)
+}
+
+// Close implements Transport: it flushes every outbound queue, then
+// tears the mesh down and waits for the readers to exit.
+func (t *TCP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	for _, w := range t.writers {
+		if w != nil {
+			w.closeFlush()
+		}
+	}
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	t.readers.Wait()
+	return nil
+}
+
+// Coordinator is the rendezvous point of a TCP training group: rank 0
+// listens, workers DialTCP it, and Wait blocks until all size-1 workers
+// have joined, then returns rank 0's wired endpoint.
+type Coordinator struct {
+	ln   gonet.Listener
+	size int
+}
+
+// NewCoordinator starts listening for a group of size ranks on addr
+// (e.g. "127.0.0.1:0"; use Addr for the bound address). The handshake
+// itself happens in Wait, so callers can publish Addr — dnncluster's
+// -addr-file — before blocking.
+func NewCoordinator(addr string, size int) (*Coordinator, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("transport: group size %d < 1", size)
+	}
+	if size > 1<<16 {
+		return nil, fmt.Errorf("transport: group size %d exceeds tag origin field", size)
+	}
+	ln, err := gonet.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{ln: ln, size: size}, nil
+}
+
+// Addr returns the coordinator's bound listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Wait accepts the size-1 worker joins, assigns ranks in join order,
+// distributes the mesh address book, and returns rank 0's Transport.
+// The join connections become rank 0's mesh links.
+func (c *Coordinator) Wait() (*TCP, error) {
+	defer c.ln.Close()
+	conns := make([]gonet.Conn, c.size)
+	addrs := make([]string, c.size)
+	fail := func(err error) (*TCP, error) {
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+		return nil, err
+	}
+	for r := 1; r < c.size; r++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fail(err)
+		}
+		join, err := readCtrl(conn, "join")
+		if err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("transport: join from %v: %w", conn.RemoteAddr(), err))
+		}
+		conns[r] = conn
+		addrs[r] = join.Addr
+	}
+	for r := 1; r < c.size; r++ {
+		if err := writeCtrl(conns[r], ctrlMsg{Type: "assign", Rank: r, Size: c.size, Addrs: addrs}); err != nil {
+			return fail(fmt.Errorf("transport: assign rank %d: %w", r, err))
+		}
+	}
+	return newTCP(0, conns), nil
+}
+
+// DialTCP joins a worker to the group rendezvousing at coordAddr and
+// blocks until the full mesh is wired, returning the worker's endpoint
+// (rank assigned by the coordinator, in join order). The worker's mesh
+// listener binds to the local interface that reaches the coordinator,
+// so multi-host groups advertise a routable address.
+func DialTCP(coordAddr string) (*TCP, error) {
+	coord, err := gonet.Dial("tcp", coordAddr)
+	if err != nil {
+		return nil, err
+	}
+	host, _, err := gonet.SplitHostPort(coord.LocalAddr().String())
+	if err != nil {
+		coord.Close()
+		return nil, err
+	}
+	ln, err := gonet.Listen("tcp", gonet.JoinHostPort(host, "0"))
+	if err != nil {
+		coord.Close()
+		return nil, err
+	}
+	defer ln.Close()
+	if err := writeCtrl(coord, ctrlMsg{Type: "join", Addr: ln.Addr().String()}); err != nil {
+		coord.Close()
+		return nil, err
+	}
+	assign, err := readCtrl(coord, "assign")
+	if err != nil {
+		coord.Close()
+		return nil, fmt.Errorf("transport: waiting for assignment: %w", err)
+	}
+	rank, size := assign.Rank, assign.Size
+	if rank < 1 || rank >= size || len(assign.Addrs) != size {
+		coord.Close()
+		return nil, fmt.Errorf("transport: bad assignment rank=%d size=%d addrs=%d", rank, size, len(assign.Addrs))
+	}
+	conns := make([]gonet.Conn, size)
+	conns[0] = coord
+	fail := func(err error) (*TCP, error) {
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+		return nil, err
+	}
+	// Dial every lower worker rank. Their listeners were bound before
+	// they joined, so the kernel backlog holds our connection even if
+	// they have not reached their accept loop yet.
+	for q := 1; q < rank; q++ {
+		conn, err := gonet.Dial("tcp", assign.Addrs[q])
+		if err != nil {
+			return fail(fmt.Errorf("transport: dial rank %d at %s: %w", q, assign.Addrs[q], err))
+		}
+		if err := writeCtrl(conn, ctrlMsg{Type: "hello", Rank: rank}); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("transport: hello to rank %d: %w", q, err))
+		}
+		conns[q] = conn
+	}
+	// Accept every higher worker rank.
+	for n := rank + 1; n < size; n++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fail(err)
+		}
+		hello, err := readCtrl(conn, "hello")
+		if err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("transport: hello from %v: %w", conn.RemoteAddr(), err))
+		}
+		if hello.Rank <= rank || hello.Rank >= size || conns[hello.Rank] != nil {
+			conn.Close()
+			return fail(fmt.Errorf("transport: unexpected hello from rank %d", hello.Rank))
+		}
+		conns[hello.Rank] = conn
+	}
+	return newTCP(rank, conns), nil
+}

@@ -1,0 +1,295 @@
+// Package transport abstracts point-to-point messaging between the
+// replicas of a distributed data-parallel training run (DISTRIBUTED.md).
+// It is the seam that lets the gradient reduction in internal/dist run
+// unchanged over an in-process channel fabric (deterministic, race-
+// testable, simtime-modelable) and over length-prefixed TCP between real
+// processes — the FireCaffe-style path from one node to a cluster.
+//
+// # The model
+//
+// A training group is Size() ranks, 0..Size()-1; rank 0 is the
+// coordinator (it owns the solver). Every rank holds one Transport whose
+// Send and Recv address peers by rank. Messages are float32 payloads
+// labeled by a Tag that encodes (kind, iteration, parameter, origin);
+// the reduction protocol in internal/dist is lock-step, so a receiver
+// always knows exactly which tag it expects next on each link.
+//
+// # Delivery guarantees
+//
+// Each ordered pair of ranks is an independent FIFO link: messages from
+// one sender arrive in send order. Send is asynchronous (it enqueues and
+// returns, which is what lets internal/dist overlap gradient shipping
+// with backward compute) and Recv blocks until the expected message
+// arrives. Recv discards stale frames — duplicates of already-delivered
+// tags and leftovers from completed iterations — so an at-least-once
+// sender (the bounded-retry loop in internal/dist, or the Flaky fault
+// injector's duplicates) still yields exactly-once delivery; any other
+// unexpected tag is a protocol violation and fails loudly with
+// *UnexpectedTagError rather than silently desynchronizing the group.
+//
+// # Implementations
+//
+// NewLocalGroup wires Size in-process endpoints (goroutine-per-replica,
+// used by tests and dnncluster's single-process mode); ListenTCP /
+// DialTCP build a full mesh of TCP connections across processes via a
+// coordinator rendezvous; NewFlaky wraps any Transport with seeded,
+// reproducible drop/delay/duplicate faults (ROBUSTNESS.md).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Kind classifies what a message carries; it is part of the Tag so that
+// the phases of one iteration can never be confused on a link.
+type Kind uint8
+
+const (
+	// KindGrad is a raw gradient-slice contribution shipped to the
+	// slice's owner during the scatter phase.
+	KindGrad Kind = iota
+	// KindGather is a reduced slice routed up the reduction tree.
+	KindGather
+	// KindBcast is an updated parameter tensor routed down the tree.
+	KindBcast
+	// KindLoss is a replica's scalar batch loss, sent to the coordinator.
+	KindLoss
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindGrad:
+		return "grad"
+	case KindGather:
+		return "gather"
+	case KindBcast:
+		return "bcast"
+	case KindLoss:
+		return "loss"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Tag labels one message: kind (2 bits) | iteration (32 bits) |
+// parameter index (14 bits) | origin rank (16 bits). The iteration field
+// is what lets receivers recognize and discard stale duplicates from
+// finished iterations.
+type Tag uint64
+
+// MakeTag packs a message label. Fields out of range panic: the protocol
+// would silently alias tags otherwise.
+func MakeTag(k Kind, iter, param, origin int) Tag {
+	if k > 3 {
+		panic(fmt.Sprintf("transport: kind %d out of range", k))
+	}
+	if iter < 0 || iter >= 1<<32 {
+		panic(fmt.Sprintf("transport: iteration %d out of range", iter))
+	}
+	if param < 0 || param >= 1<<14 {
+		panic(fmt.Sprintf("transport: parameter index %d out of range", param))
+	}
+	if origin < 0 || origin >= 1<<16 {
+		panic(fmt.Sprintf("transport: origin rank %d out of range", origin))
+	}
+	return Tag(uint64(k)<<62 | uint64(iter)<<30 | uint64(param)<<16 | uint64(origin))
+}
+
+// Kind returns the message kind field.
+func (t Tag) Kind() Kind { return Kind(t >> 62) }
+
+// Iter returns the iteration field.
+func (t Tag) Iter() int { return int(t >> 30 & (1<<32 - 1)) }
+
+// Param returns the parameter-index field.
+func (t Tag) Param() int { return int(t >> 16 & (1<<14 - 1)) }
+
+// Origin returns the origin-rank field.
+func (t Tag) Origin() int { return int(t & (1<<16 - 1)) }
+
+// String implements fmt.Stringer.
+func (t Tag) String() string {
+	return fmt.Sprintf("%s{iter %d, param %d, origin %d}", t.Kind(), t.Iter(), t.Param(), t.Origin())
+}
+
+// ErrTransient marks a send failure that a bounded retry should absorb
+// (a dropped frame under fault injection, a full outbound queue). The
+// retry policy lives in internal/dist, not here.
+var ErrTransient = errors.New("transport: transient send failure")
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// UnexpectedTagError reports a protocol violation: a frame arrived that
+// is neither the expected message, a duplicate, nor a stale leftover.
+// The lock-step reduction protocol cannot recover from this; callers
+// must fail the run loudly.
+type UnexpectedTagError struct {
+	From      int
+	Got, Want Tag
+}
+
+// Error implements error.
+func (e *UnexpectedTagError) Error() string {
+	return fmt.Sprintf("transport: unexpected frame from rank %d: got %v, want %v", e.From, e.Got, e.Want)
+}
+
+// PeerError reports an out-of-range or self-addressed peer rank — a
+// topology bug in the caller, never a transient fault.
+type PeerError struct {
+	Op         string
+	Rank, Peer int
+	Size       int
+}
+
+// Error implements error.
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("transport: rank %d cannot %s rank %d (group size %d)", e.Rank, e.Op, e.Peer, e.Size)
+}
+
+// SizeMismatchError reports a frame whose payload length differs from
+// the receiver's buffer — a wiring bug (mismatched nets), never a
+// transient fault.
+type SizeMismatchError struct {
+	From     int
+	Tag      Tag
+	Got, Want int
+}
+
+// Error implements error.
+func (e *SizeMismatchError) Error() string {
+	return fmt.Sprintf("transport: frame %v from rank %d has %d elements, want %d", e.Tag, e.From, e.Got, e.Want)
+}
+
+// Transport is one rank's endpoint into the training group.
+//
+// Send enqueues a copy of payload for delivery to rank `to` and returns
+// without waiting for the receiver (per-link FIFO order is preserved).
+// Recv blocks until the frame labeled `tag` arrives from rank `from`
+// and copies its payload into buf, whose length must equal the sender's
+// payload length. Concurrent Sends are safe; Recv must be called by one
+// goroutine per link at a time (the lock-step protocol does so
+// naturally). Close releases the endpoint and unblocks pending Recvs
+// with ErrClosed.
+type Transport interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the group size.
+	Size() int
+	// Send enqueues payload for rank to under tag.
+	Send(to int, tag Tag, payload []float32) error
+	// Recv blocks until the frame labeled tag arrives from rank from.
+	Recv(from int, tag Tag, buf []float32) error
+	// Close shuts the endpoint down.
+	Close() error
+}
+
+// frame is one in-flight message.
+type frame struct {
+	tag     Tag
+	payload []float32
+}
+
+// inbox is the per-link receive queue shared by the Local and TCP
+// transports: a FIFO of frames plus the stale-frame bookkeeping that
+// turns at-least-once links into exactly-once delivery. One writer side
+// (push/fail/close) and one reader side (recv) may run concurrently.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames []frame
+	// delivered tracks tags consumed in the current iteration so that
+	// duplicates (fault-injected or retry-induced) are recognized; it is
+	// generational — reset whenever delivery advances to a new iteration —
+	// so it stays bounded by one iteration's message count.
+	delivered map[Tag]bool
+	curIter   int
+	err       error
+	closed    bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{delivered: make(map[Tag]bool)}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+// push appends a frame (writer side). The payload must be owned by the
+// inbox (callers copy before pushing).
+func (ib *inbox) push(f frame) {
+	ib.mu.Lock()
+	if !ib.closed {
+		ib.frames = append(ib.frames, f)
+		ib.cond.Signal()
+	}
+	ib.mu.Unlock()
+}
+
+// fail poisons the inbox: pending and future recvs return err.
+func (ib *inbox) fail(err error) {
+	ib.mu.Lock()
+	if ib.err == nil {
+		ib.err = err
+	}
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// close marks the inbox closed; pending recvs return ErrClosed.
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// recv implements the matching discipline documented on Transport.Recv:
+// deliver want, discard duplicates and stale iterations, reject anything
+// else. from is only used for error reporting.
+func (ib *inbox) recv(from int, want Tag, buf []float32) error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		for len(ib.frames) == 0 {
+			if ib.err != nil {
+				return ib.err
+			}
+			if ib.closed {
+				return ErrClosed
+			}
+			ib.cond.Wait()
+		}
+		f := ib.frames[0]
+		// Release the head slot eagerly so the backing array is reusable.
+		ib.frames[0] = frame{}
+		ib.frames = ib.frames[1:]
+		if len(ib.frames) == 0 {
+			ib.frames = nil
+		}
+		switch {
+		case f.tag == want:
+			if len(f.payload) != len(buf) {
+				return &SizeMismatchError{From: from, Tag: f.tag, Got: len(f.payload), Want: len(buf)}
+			}
+			if it := want.Iter(); it > ib.curIter {
+				// New iteration: previous iterations are complete on this
+				// link, so their dedupe entries can never match again.
+				ib.curIter = it
+				clear(ib.delivered)
+			}
+			ib.delivered[want] = true
+			copy(buf, f.payload)
+			return nil
+		case f.tag.Iter() < want.Iter():
+			// Stale leftover from a finished iteration (a duplicate whose
+			// original was consumed before the link advanced): discard.
+		case ib.delivered[f.tag]:
+			// Duplicate within the current iteration: discard.
+		default:
+			return &UnexpectedTagError{From: from, Got: f.tag, Want: want}
+		}
+	}
+}

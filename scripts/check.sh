@@ -11,9 +11,11 @@
 # the spin-then-park barrier, a tracing smoke run that must produce valid
 # Chrome trace-event JSON, the robustness drills (ROBUSTNESS.md): the
 # fault-injection suite, a seeded corrupt-checkpoint recovery smoke and a
-# guard NaN-poison smoke, and a serving smoke (SERVING.md): dnnserve on a
-# random port answering a dnnload probe and draining cleanly on SIGTERM.
-# Run from anywhere inside the repo.
+# guard NaN-poison smoke, a serving smoke (SERVING.md): dnnserve on a
+# random port answering a dnnload probe and draining cleanly on SIGTERM,
+# and a distributed smoke (DISTRIBUTED.md): a coordinator + 2 workers
+# over loopback TCP whose final snapshot must be bit-identical to the
+# single-process run. Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -57,9 +59,9 @@ go test ./...
 echo "== go test -run Example (doc examples) =="
 go test -run Example ./...
 
-echo "== go test -race (blas, par, trace, net, core, guard, faultinject, serve) =="
+echo "== go test -race (blas, par, trace, net, core, guard, faultinject, serve, transport, dist) =="
 go test -race -count=1 ./internal/blas ./internal/par ./internal/trace ./internal/net ./internal/core \
-	./internal/guard ./internal/faultinject ./internal/serve
+	./internal/guard ./internal/faultinject ./internal/serve ./internal/transport ./internal/dist
 
 echo "== reduction determinism sweep (OrderedSlices bit-identical across P) =="
 go test -count=1 -run 'TestOrderedSlicesBitIdenticalToOrdered|TestOrderedSlicesMergeBitIdenticalAcrossWorkers' \
@@ -112,5 +114,31 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "FAIL: dnnserve did not exit cleanly on SIGTERM" >&2; cat "$tmpdir/serve.log" >&2; exit 1; }
 grep -q "draining" "$tmpdir/serve.log" || { echo "FAIL: SIGTERM drain message missing" >&2; exit 1; }
 echo "probe answered and SIGTERM drained, as required"
+
+echo "== distributed smoke: 3-rank TCP run bit-identical to in-process run =="
+# Coordinator + 2 workers over loopback TCP must write the exact bytes
+# the single-process Local-transport run writes (DISTRIBUTED.md's
+# determinism contract, checked end to end through real sockets).
+go build -o "$tmpdir/dnncluster" ./cmd/dnncluster
+"$tmpdir/dnncluster" -role coordinator -replicas 3 -batch 48 -samples 48 -iters 4 \
+	-addr 127.0.0.1:0 -addr-file "$tmpdir/coord.addr" -zoo lenet -display 4 \
+	-snapshot "$tmpdir/tcp.cgdnn" >"$tmpdir/coord.log" 2>&1 &
+coord_pid=$!
+"$tmpdir/dnncluster" -role worker -addr-file "$tmpdir/coord.addr" -batch 48 -samples 48 \
+	-iters 4 -zoo lenet >"$tmpdir/worker1.log" 2>&1 &
+w1_pid=$!
+"$tmpdir/dnncluster" -role worker -addr-file "$tmpdir/coord.addr" -batch 48 -samples 48 \
+	-iters 4 -zoo lenet >"$tmpdir/worker2.log" 2>&1 &
+w2_pid=$!
+wait "$coord_pid" || { echo "FAIL: coordinator exited nonzero" >&2; cat "$tmpdir/coord.log" >&2; exit 1; }
+wait "$w1_pid" || { echo "FAIL: worker 1 exited nonzero" >&2; cat "$tmpdir/worker1.log" >&2; exit 1; }
+wait "$w2_pid" || { echo "FAIL: worker 2 exited nonzero" >&2; cat "$tmpdir/worker2.log" >&2; exit 1; }
+"$tmpdir/dnncluster" -role local -replicas 3 -batch 48 -samples 48 -iters 4 -zoo lenet \
+	-display 4 -snapshot "$tmpdir/local.cgdnn" >/dev/null
+tcp_crc="$(cksum <"$tmpdir/tcp.cgdnn")"
+local_crc="$(cksum <"$tmpdir/local.cgdnn")"
+[ "$tcp_crc" = "$local_crc" ] ||
+	{ echo "FAIL: TCP snapshot CRC ($tcp_crc) != local snapshot CRC ($local_crc)" >&2; exit 1; }
+echo "TCP and in-process snapshots bit-identical (cksum $tcp_crc), as required"
 
 echo "OK"
