@@ -4,6 +4,7 @@
 //	dnnlint ./...                 # the whole module, tests included
 //	dnnlint -tests=false ./...    # non-test code only
 //	dnnlint -only parbody ./internal/blas
+//	dnnlint -json ./...           # one JSON object per finding, per line
 //	dnnlint -list                 # describe the analyzers
 //
 // Diagnostics print as file:line:col: analyzer: message, one per line;
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,12 +30,22 @@ import (
 	"coarsegrain/internal/lint/analyzers"
 )
 
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
-		tests = flag.Bool("tests", true, "also analyze in-package _test.go files")
-		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		src   = flag.String("src", "", "comma-separated extra source roots for import resolution (fixture testing)")
-		list  = flag.Bool("list", false, "list analyzers and exit")
+		tests  = flag.Bool("tests", true, "also analyze in-package _test.go files")
+		only   = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		src    = flag.String("src", "", "comma-separated extra source roots for import resolution (fixture testing)")
+		asJSON = flag.Bool("json", false, "emit one JSON object per finding instead of plain text")
+		list   = flag.Bool("list", false, "list analyzers and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dnnlint [flags] [packages]\n\nFlags:\n")
@@ -91,8 +103,27 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, selected)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		// One object per line (JSON Lines): trivially consumed by jq,
+		// editors and the GitHub Actions problem matcher without
+		// buffering the whole run.
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "dnnlint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dnnlint: %d finding(s)\n", len(diags))

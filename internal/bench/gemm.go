@@ -77,7 +77,9 @@ func GemmKernels(o Options) (*GemmKernelResult, error) {
 	res.RefMFLOPS = make([]float64, len(res.Shapes))
 	res.BlockedMFLOPS = make([]float64, len(res.Shapes))
 	for i, s := range res.Shapes {
+		//dnnlint:ignore hotalloc benchmark harness: fresh operands per timed kernel by design
 		res.RefMFLOPS[i] = timeGemm(s, blas.GemmReference)
+		//dnnlint:ignore hotalloc benchmark harness: fresh operands per timed kernel by design
 		res.BlockedMFLOPS[i] = timeGemm(s, func(ta, tb blas.Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 			blas.Gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 		})

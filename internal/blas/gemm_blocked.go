@@ -98,10 +98,12 @@ type GemmScratch struct {
 
 func (s *GemmScratch) ensure(apLen, bpLen int) {
 	if cap(s.ap) < apLen {
+		//dnnlint:ignore hotalloc grow-once scratch, amortized across every later GEMM on this shape
 		s.ap = make([]float32, apLen)
 	}
 	s.ap = s.ap[:cap(s.ap)]
 	if cap(s.bp) < bpLen {
+		//dnnlint:ignore hotalloc grow-once scratch, amortized across every later GEMM on this shape
 		s.bp = make([]float32, bpLen)
 	}
 	s.bp = s.bp[:cap(s.bp)]

@@ -13,13 +13,32 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"coarsegrain/internal/lint"
 )
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*lint.Analyzer {
-	return []*lint.Analyzer{Parbody, OrderedReduce, BlobAlias, HotAlloc, TraceNil}
+	return []*lint.Analyzer{Parbody, OrderedReduce, BlobAlias, HotAlloc, TraceNil, TransErr, GoroLife, PhaseSpan, ChanMisuse}
+}
+
+// prodFiles returns the pass's non-test files. The concurrency and
+// transport contract analyzers (transerr, gorolife, phasespan,
+// chanmisuse) scope themselves to production code: tests deliberately
+// exercise the forbidden shapes — dropping Send errors to provoke
+// reconnects, leaving spans open to prove End is unbalanced-safe — and
+// a violated contract there fails the test itself.
+func prodFiles(pass *lint.Pass) []*ast.File {
+	out := make([]*ast.File, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // calleeOf resolves the function or method a call invokes, or nil for
@@ -259,6 +278,11 @@ func (c *poolClosure) unwrapTarget(expr ast.Expr) (root *ast.Ident, safeIndexed 
 			}
 			expr = e.X
 		case *ast.SliceExpr:
+			// A view like out[oc*ohw:(oc+1)*ohw] with schedule-derived
+			// bounds is a rank-owned window: writes through it are safe.
+			if e.Low != nil && c.mentionsSafe(e.Low) || e.High != nil && c.mentionsSafe(e.High) {
+				safeIndexed = true
+			}
 			expr = e.X
 		case *ast.SelectorExpr:
 			expr = e.X

@@ -23,8 +23,16 @@ func TestBlobAlias(t *testing.T) {
 	lint.Fixture(t, BlobAlias, "blobalias")
 }
 
+func TestParbodyInterprocedural(t *testing.T) {
+	lint.Fixture(t, Parbody, "interproc")
+}
+
 func TestHotAlloc(t *testing.T) {
 	lint.Fixture(t, HotAlloc, "hotalloc")
+}
+
+func TestHotAllocInterprocedural(t *testing.T) {
+	lint.Fixture(t, HotAlloc, "hotcall")
 }
 
 func TestHotAllocGuardScans(t *testing.T) {
@@ -43,10 +51,27 @@ func TestTraceNilDefiningPackage(t *testing.T) {
 	lint.Fixture(t, TraceNil, "tracedef")
 }
 
+func TestTransErr(t *testing.T) {
+	lint.Fixture(t, TransErr, "transerr")
+}
+
+func TestGoroLife(t *testing.T) {
+	lint.Fixture(t, GoroLife, "gorolife")
+}
+
+func TestPhaseSpan(t *testing.T) {
+	lint.Fixture(t, PhaseSpan, "phasespan")
+}
+
+func TestChanMisuse(t *testing.T) {
+	lint.Fixture(t, ChanMisuse, "chanmisuse")
+}
+
 func TestAllIsComplete(t *testing.T) {
 	want := map[string]bool{
 		"parbody": true, "orderedreduce": true, "blobalias": true,
-		"hotalloc": true, "tracenil": true,
+		"hotalloc": true, "tracenil": true, "transerr": true,
+		"gorolife": true, "phasespan": true, "chanmisuse": true,
 	}
 	got := map[string]bool{}
 	for _, a := range All() {

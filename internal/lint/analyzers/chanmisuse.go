@@ -1,0 +1,299 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"coarsegrain/internal/lint"
+)
+
+// ChanMisuse catches the two channel mistakes that have bitten (or
+// nearly bitten) the long-lived subsystems:
+//
+//   - a blocking channel operation while a mutex is held. The batcher
+//     and the transport inboxes pair a mutex-guarded table with
+//     channels; a send that blocks under the lock deadlocks every other
+//     goroutine that needs the same lock to drain the channel. Sends
+//     guarded by a select with a default clause are non-blocking and
+//     fine (serve.submit's overload path), as is close(), which never
+//     blocks.
+//   - a send on an unexported channel field that no code in the package
+//     ever receives from, ranges over, closes or selects on. Such a
+//     send can only come from a forgotten drain path: the sender parks
+//     forever once the buffer fills.
+//
+// Scope is the subsystems that own locks+channels (transport, serve,
+// dist); kernel packages use channels only through par's structured
+// fork/join.
+var ChanMisuse = &lint.Analyzer{
+	Name: "chanmisuse",
+	Doc: "flags blocking channel sends/receives while a mutex is held (select-with-default " +
+		"and close are exempt) and sends on unexported channel fields no code in the " +
+		"package drains",
+	Run: runChanMisuse,
+}
+
+func runChanMisuse(pass *lint.Pass) {
+	if !goroLifePkgs[pass.Pkg.Name()] {
+		return
+	}
+	u := &chanUse{
+		pass:  pass,
+		sends: map[types.Object][]token.Pos{},
+		drain: map[types.Object]bool{},
+	}
+	for _, f := range prodFiles(pass) {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				walkHeld(pass, fd.Body.List, map[string]bool{})
+			}
+		}
+		u.collect(f)
+	}
+	u.reportUndrained()
+}
+
+// --- part 1: channel ops under a held mutex -------------------------
+
+// mutexOp classifies an expression statement as a lock or unlock on
+// some handle and returns the handle's printed form ("s.mu").
+func mutexOp(fset *token.FileSet, st ast.Stmt) (handle string, lock, ok bool) {
+	es, isExpr := st.(*ast.ExprStmt)
+	if !isExpr {
+		return "", false, false
+	}
+	call, isCall := ast.Unparen(es.X).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return exprString(fset, sel.X), true, true
+	case "Unlock", "RUnlock":
+		return exprString(fset, sel.X), false, true
+	}
+	return "", false, false
+}
+
+// walkHeld walks a statement list in order, tracking which mutexes are
+// lexically held, and checks every statement that executes under a lock
+// for blocking channel operations. Nested blocks inherit a copy of the
+// held set; a defer Unlock leaves the mutex held for the rest of the
+// list (that is the point of the idiom).
+func walkHeld(pass *lint.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		if h, lock, ok := mutexOp(pass.Fset, st); ok {
+			if lock {
+				held[h] = true
+			} else {
+				delete(held, h)
+			}
+			continue
+		}
+		if len(held) > 0 {
+			checkBlockingOps(pass, st, heldNames(held))
+		}
+		// Recurse into nested statement lists with a copy, so a Lock
+		// inside an if-branch does not leak into the siblings.
+		for _, list := range nestedStmtLists(st) {
+			walkHeld(pass, list, copyHeld(held))
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k := range held {
+		c[k] = true
+	}
+	return c
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Deterministic enough for a diagnostic: held rarely exceeds one.
+	s := names[0]
+	for _, n := range names[1:] {
+		if n < s {
+			s = n
+		}
+	}
+	return s
+}
+
+// nestedStmtLists returns the statement lists directly nested in st
+// (if/for/switch/select bodies). The statements themselves are checked
+// by the caller; only list-structured recursion happens here.
+func nestedStmtLists(st ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil { // else-block or else-if, both are statements
+			out = append(out, nestedStmtLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(s.Stmt)...)
+	}
+	return out
+}
+
+// checkBlockingOps flags blocking sends and receives inside st (one
+// statement, not its nested lists). Select statements with a default
+// clause are non-blocking by construction and their comm clauses are
+// exempt; function literals run on other goroutines at other times and
+// are skipped entirely.
+func checkBlockingOps(pass *lint.Pass, st ast.Stmt, held string) {
+	nested := map[ast.Node]bool{}
+	for _, list := range nestedStmtLists(st) {
+		for _, s := range list {
+			nested[s] = true
+		}
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		if nested[n] {
+			return false // handled by walkHeld's recursion
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if selectHasDefault(x) {
+				return false // non-blocking; bodies are in nested lists
+			}
+			return true
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(),
+				"blocking send on %s while %s is held: every goroutine that needs %s to "+
+					"drain the channel deadlocks behind this send — release the lock first "+
+					"or make the send non-blocking (select with default)",
+				exprString(pass.Fset, x.Chan), held, held)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pass.Reportf(x.Pos(),
+					"blocking receive on %s while %s is held: the sender may need %s to "+
+						"make progress — release the lock before waiting on the channel",
+					exprString(pass.Fset, x.X), held, held)
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// --- part 2: sends on channel fields nothing drains -----------------
+
+// chanUse aggregates, per package, every send on an unexported
+// chan-typed struct field and every drain edge (receive, range, close,
+// select case) touching one.
+type chanUse struct {
+	pass  *lint.Pass
+	sends map[types.Object][]token.Pos
+	drain map[types.Object]bool
+}
+
+// fieldOf resolves e to an unexported chan-typed struct field accessed
+// as a selector (s.queue), or nil.
+func (u *chanUse) fieldOf(e ast.Expr) types.Object {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := u.pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || v.Exported() {
+		return nil
+	}
+	if v.Pkg() != u.pass.Pkg {
+		return nil
+	}
+	if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return v
+}
+
+func (u *chanUse) collect(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if fld := u.fieldOf(x.Chan); fld != nil {
+				u.sends[fld] = append(u.sends[fld], x.Pos())
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if fld := u.fieldOf(x.X); fld != nil {
+					u.drain[fld] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if fld := u.fieldOf(x.X); fld != nil {
+				u.drain[fld] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if fld := u.fieldOf(x.Args[0]); fld != nil {
+					u.drain[fld] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (u *chanUse) reportUndrained() {
+	for fld, sites := range u.sends {
+		if u.drain[fld] {
+			continue
+		}
+		for _, pos := range sites {
+			u.pass.Reportf(pos,
+				"send on channel field %s but no receive, range, close or select case in "+
+					"this package drains it: once the buffer fills the sender parks forever — "+
+					"wire the drain path or delete the channel", fld.Name())
+		}
+	}
+}

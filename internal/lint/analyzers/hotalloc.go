@@ -3,6 +3,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 	"strings"
 
 	"coarsegrain/internal/lint"
@@ -167,12 +168,34 @@ func flagAllocs(pass *lint.Pass, fn string, body *ast.BlockStmt) {
 				return true
 			}
 		}
-		if callee := calleeOf(pass.Info, call); callee != nil &&
-			callee.Pkg() != nil && callee.Pkg().Name() == "fmt" {
+		callee := calleeOf(pass.Info, call)
+		if callee == nil {
+			return true
+		}
+		if callee.Pkg() != nil && callee.Pkg().Name() == "fmt" {
 			pass.Reportf(call.Pos(),
 				"fmt.%s in a loop of hot function %s allocates and boxes every operand per iteration: "+
 					"move diagnostics out of the hot path",
 				callee.Name(), fn)
+			return true
+		}
+		// The engine arena is the sanctioned amortized allocator — the
+		// fix this analyzer recommends — so calls into it are exempt.
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			isNamed(sig.Recv().Type(), "core", "arena") {
+			return true
+		}
+		// v2: see through the call — a helper whose effect summary
+		// allocates (make/append/new/fmt anywhere within the summary
+		// depth, waived sites excluded) still allocates per iteration.
+		if s := pass.Prog.Summary(callee); s != nil && s.Alloc.Found {
+			site := pass.Fset.Position(s.Alloc.Site)
+			pass.Reportf(call.Pos(),
+				"call to %s in a loop of hot function %s allocates per iteration "+
+					"(%s at %s:%d, %d call(s) deep): hoist the allocation out of the hot path "+
+					"or waive the site with a justification",
+				callee.Name(), fn, s.Alloc.What,
+				filepath.Base(site.Filename), site.Line, s.Alloc.Depth+1)
 		}
 		return true
 	})

@@ -1,0 +1,92 @@
+// This fixture exercises the chanmisuse analyzer. The package is named
+// dist because the analyzer scopes itself to the lock+channel
+// subsystems (transport, serve, dist) by package name.
+package dist
+
+import "sync"
+
+type inbox struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	queue chan int
+	acks  chan int
+	lost  chan int
+	free  chan int
+}
+
+// --- blocking channel ops under a held mutex --------------------------
+
+func (b *inbox) postLocked(v int) {
+	b.mu.Lock()
+	b.queue <- v // want `blocking send on b\.queue while b\.mu is held`
+	b.mu.Unlock()
+}
+
+func (b *inbox) waitLocked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.acks // want `blocking receive on b\.acks while b\.mu is held`
+}
+
+func (b *inbox) selectLocked(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.acks <- v: // want `blocking send on b\.acks while b\.mu is held`
+	}
+}
+
+// --- the sanctioned shapes --------------------------------------------
+
+// Unlock before the blocking op.
+func (b *inbox) postUnlocked(v int) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.queue <- v
+}
+
+// A select with a default clause never blocks (serve.submit's shape).
+func (b *inbox) tryPost(v int) bool {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	select {
+	case b.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// close never blocks, so closing under the lock is fine (serve.Close's
+// shape); it also counts as the drain edge for queue.
+func (b *inbox) shutdown() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	close(b.queue)
+}
+
+// A lock taken inside a branch does not leak into its siblings.
+func (b *inbox) branchLocked(v int, flush bool) {
+	if flush {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+	b.queue <- v
+}
+
+// --- sends nothing in the package drains ------------------------------
+
+func (b *inbox) recordLoss(v int) {
+	b.lost <- v // want `send on channel field lost but no receive, range, close or select case in this package drains it`
+}
+
+// free is drained by the range below, so refilling it is fine.
+func (b *inbox) refill(v int) {
+	b.free <- v
+}
+
+func (b *inbox) drainFree() {
+	for v := range b.free {
+		_ = v
+	}
+}

@@ -1,0 +1,90 @@
+// This fixture exercises the gorolife analyzer. The package is named
+// serve because the analyzer scopes itself to the long-lived subsystems
+// (transport, serve, dist) by package name.
+package serve
+
+import "sync"
+
+type server struct {
+	wg    sync.WaitGroup
+	done  chan struct{}
+	conns chan int
+}
+
+// loop is a worker body with no self-announcing join edge; spawning it
+// is legal only behind an Add.
+func (s *server) loop() {
+	for range s.conns {
+	}
+}
+
+func (s *server) handle(v int) { _ = v }
+
+// batchLoop announces its own join edge: the first statement closes the
+// done channel on exit, so Close can drain it.
+func (s *server) batchLoop() {
+	defer close(s.done)
+	for range s.conns {
+	}
+}
+
+// --- naked spawns ----------------------------------------------------
+
+func (s *server) startBad() {
+	go s.loop() // want `naked goroutine in package serve`
+	go func() { // want `naked goroutine in package serve`
+		s.handle(1)
+	}()
+}
+
+// A spawn is only sanctioned by an Add immediately before it; an Add
+// further up does not visibly tie this goroutine to the group.
+func (s *server) startAddTooFar() {
+	s.wg.Add(1)
+	s.handle(0)
+	go s.loop() // want `naked goroutine in package serve`
+}
+
+// --- the sanctioned idioms -------------------------------------------
+
+// Add-before-spawn: the statement before the go ties it to a group.
+func (s *server) startAddBefore() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Done-first: the spawned literal opens with defer Done.
+func (s *server) startDeferDone() {
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		s.handle(2)
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.handle(3)
+	}()
+}
+
+// Close-first through a named method: the callee's declaration is
+// resolved through the call graph and opens with defer close.
+func (s *server) startLoopClose() {
+	go s.batchLoop()
+}
+
+// The idioms apply per statement list: a case clause is its own list.
+func (s *server) dispatch(v int) {
+	switch v {
+	case 1:
+		s.wg.Add(1)
+		go s.loop()
+	default:
+		go s.loop() // want `naked goroutine in package serve`
+	}
+}
+
+// Fire-and-forget spawns must carry a waiver naming the drain path.
+func (s *server) startWaived() {
+	//dnnlint:ignore gorolife drained by the closeFlush handshake before Close returns
+	go s.loop()
+}

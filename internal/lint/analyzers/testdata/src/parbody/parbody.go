@@ -14,8 +14,8 @@ func bad(p *par.Pool, out []float32, m map[int]float32) {
 		for i := lo; i < hi; i++ {
 			sum = sum + out[i] // want `write to captured "sum" inside Pool\.For closure`
 		}
-		count++         // want `write to captured "count" inside Pool\.For closure`
-		last = out[lo]  // want `write to captured "last" inside Pool\.For closure`
+		count++              // want `write to captured "count" inside Pool\.For closure`
+		last = out[lo]       // want `write to captured "last" inside Pool\.For closure`
 		m[0] = float32(rank) // want `write to captured "m\[\.\.\.\]" inside Pool\.For closure`
 	})
 

@@ -1,0 +1,76 @@
+// Package phasespan exercises the phasespan analyzer: numeric-literal
+// phases at span construction sites, string comparisons against names
+// outside the shared vocabulary, and unbalanced Begin/End pairs.
+package phasespan
+
+import "trace"
+
+// --- literal phases ---------------------------------------------------
+
+func badLiterals(tr *trace.Tracer) {
+	tr.Begin("fwd", 3) // want `phase passed to Begin as the literal 3`
+	tr.End()
+	tr.Begin("bwd", trace.Phase(2)) // want `phase passed to Begin as the literal 2`
+	tr.End()
+	tr.SetScope("conv1", 1) // want `phase passed to SetScope as the literal 1`
+}
+
+func badSpanLiteral(tr *trace.Tracer) {
+	tr.Record(trace.Span{Name: "x", Phase: 5}) // want `Phase field of Span literal set to the literal 5`
+}
+
+func goodConstants(tr *trace.Tracer) {
+	tr.Begin("fwd", trace.PhaseForward)
+	tr.End()
+	tr.SetScope("conv1", trace.PhaseBackward)
+	tr.Record(trace.Span{Name: "x", Phase: trace.PhaseReduce})
+}
+
+// A phase that arrives as a value is the caller's concern, not a
+// literal at this site.
+func goodForwarded(tr *trace.Tracer, p trace.Phase) {
+	tr.Begin("fwd", p)
+	tr.End()
+}
+
+// --- vocabulary for phase-name strings --------------------------------
+
+type event struct{ Cat string }
+
+func badCat(ev event) bool {
+	return ev.Cat == "fordward" // want `string "fordward" compared against a phase name but is not in the shared phase vocabulary`
+}
+
+func badString(p trace.Phase) bool {
+	return p.String() != "backwards" // want `string "backwards" compared against a phase name`
+}
+
+func goodCat(ev event, p trace.Phase) bool {
+	return ev.Cat == "forward" || p.String() == "backward"
+}
+
+// Comparing two non-literal strings is out of scope.
+func goodDynamic(ev event, name string) bool {
+	return ev.Cat == name
+}
+
+// --- Begin/End balance ------------------------------------------------
+
+func badOpenSpan(tr *trace.Tracer, n int) {
+	tr.Begin("iteration", trace.PhaseIteration) // want `unbalanced trace spans: 1 Begin vs 0 End`
+	if n > 0 {
+		return
+	}
+}
+
+func goodDeferredEnd(tr *trace.Tracer) {
+	tr.Begin("iteration", trace.PhaseIteration)
+	defer tr.End()
+}
+
+func goodPaired(tr *trace.Tracer) {
+	tr.Begin("iteration", trace.PhaseIteration)
+	tr.Begin("fwd", trace.PhaseForward)
+	tr.End()
+	tr.End()
+}

@@ -1,16 +1,57 @@
 // Package trace is a miniature stand-in for coarsegrain/internal/trace:
-// a nil-safe Tracer handle, just enough surface for the tracenil
-// call-site fixtures.
+// a nil-safe Tracer handle with the phase vocabulary surface, enough for
+// the tracenil and phasespan call-site fixtures. The phase names mirror
+// the real table; phasespan's vocabulary check imports the real package,
+// so only the shapes (Phase type, Begin/End/SetScope, Span.Phase) matter
+// here.
 package trace
+
+// Phase classifies a span.
+type Phase int
+
+// The phase constants mirror the real vocabulary.
+const (
+	PhaseForward Phase = iota
+	PhaseBackward
+	PhaseReduce
+	PhaseUpdate
+	PhaseIteration
+	PhaseRegion
+	PhaseGuard
+	PhaseServe
+	PhaseComm
+)
+
+var phaseNames = [...]string{
+	PhaseForward:   "forward",
+	PhaseBackward:  "backward",
+	PhaseReduce:    "reduce",
+	PhaseUpdate:    "update",
+	PhaseIteration: "iteration",
+	PhaseRegion:    "region",
+	PhaseGuard:     "guard",
+	PhaseServe:     "serve",
+	PhaseComm:      "comm",
+}
+
+// String renders the phase name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "region"
+}
 
 // Span is one recorded interval.
 type Span struct {
-	Name string
+	Name  string
+	Phase Phase
 }
 
 // Tracer records spans; all methods are nil-safe.
 type Tracer struct {
 	spans []Span
+	open  int
 }
 
 // New creates a tracer.
@@ -33,4 +74,32 @@ func (t *Tracer) Len() int {
 		return 0
 	}
 	return len(t.spans)
+}
+
+// Begin opens a span on the driver-side stack.
+func (t *Tracer) Begin(name string, phase Phase) {
+	if t == nil {
+		return
+	}
+	t.open++
+	t.spans = append(t.spans, Span{Name: name, Phase: phase})
+}
+
+// End closes the innermost open span.
+func (t *Tracer) End() {
+	if t == nil {
+		return
+	}
+	if t.open > 0 {
+		t.open--
+	}
+}
+
+// SetScope labels subsequent worker spans.
+func (t *Tracer) SetScope(name string, phase Phase) {
+	if t == nil {
+		return
+	}
+	_ = name
+	_ = phase
 }

@@ -1,0 +1,90 @@
+// Package transerr exercises the transerr analyzer: dropped transport
+// errors (directly and through wrapper helpers, resolved via effect
+// summaries) and == comparisons against the ErrTransient sentinel.
+package transerr
+
+import (
+	"errors"
+
+	"transport"
+)
+
+// --- dropped errors on direct Send/Recv calls -----------------------
+
+func dropSend(c *transport.Conn, m transport.Msg) {
+	c.Send(m) // want `error from transport\.Send is discarded`
+}
+
+func blankRecv(c *transport.Conn) transport.Msg {
+	m, _ := c.Recv() // want `error from transport\.Recv is assigned to _`
+	return m
+}
+
+func fireAndForget(c *transport.Conn, m transport.Msg) {
+	go c.Send(m)    // want `error from transport\.Send is discarded by go`
+	defer c.Send(m) // want `error from transport\.Send is discarded by defer`
+}
+
+// --- dropped errors through wrappers (interprocedural) --------------
+
+// push forwards Send's error: its summary marks it a transport error
+// source, so dropping push's error is as bad as dropping Send's.
+func push(c *transport.Conn, m transport.Msg) error {
+	return c.Send(m)
+}
+
+// relay is a second-level wrapper: the summary propagates through push.
+func relay(c *transport.Conn, m transport.Msg) error {
+	return push(c, m)
+}
+
+func dropWrapped(c *transport.Conn, m transport.Msg) {
+	push(c, m)  // want `error from push \(which forwards a transport Send error\) is discarded`
+	relay(c, m) // want `error from relay \(which forwards a transport Send error\) is discarded`
+}
+
+// swallow handles the error itself and returns none, so it is not an
+// error source and callers may ignore it freely.
+func swallow(c *transport.Conn, m transport.Msg) int {
+	if err := c.Send(m); err != nil {
+		return 1
+	}
+	return 0
+}
+
+func okToDrop(c *transport.Conn, m transport.Msg) {
+	swallow(c, m) // ok: swallow has no error result
+}
+
+// --- sentinel comparison --------------------------------------------
+
+func retryCompareEq(c *transport.Conn, m transport.Msg) error {
+	err := c.Send(m)
+	if err == transport.ErrTransient { // want `comparing against transport\.ErrTransient with ==`
+		return c.Send(m)
+	}
+	return err
+}
+
+func retryCompareNeq(err error) bool {
+	return err != transport.ErrTransient // want `comparing against transport\.ErrTransient with !=`
+}
+
+// --- the sanctioned shapes ------------------------------------------
+
+func good(c *transport.Conn, m transport.Msg) error {
+	if err := c.Send(m); err != nil {
+		if errors.Is(err, transport.ErrTransient) {
+			return c.Send(m) // one bounded retry, error propagated
+		}
+		return err
+	}
+	_, err := c.Recv()
+	return err
+}
+
+// goodWaived shows the escape hatch for genuinely ignorable errors.
+func goodWaived(c *transport.Conn) {
+	//dnnlint:ignore transerr best-effort close notification; peer detects EOF anyway
+	c.Send(transport.Msg{})
+}

@@ -1,0 +1,44 @@
+// Package transport is a miniature stand-in for
+// coarsegrain/internal/transport: the transerr analyzer matches the
+// real package structurally (a method named Send/Recv with an error
+// result on a type in a package named transport, a variable named
+// ErrTransient), so this skeleton is all the fixtures need.
+package transport
+
+import "errors"
+
+// ErrTransient marks a link failure the caller should retry.
+var ErrTransient = errors.New("transient transport failure")
+
+// Msg is one framed message.
+type Msg struct {
+	Seq     uint64
+	Payload []float32
+}
+
+// Conn is a rank-to-rank link.
+type Conn struct {
+	closed bool
+}
+
+// Send ships m to the peer.
+func (c *Conn) Send(m Msg) error {
+	if c.closed {
+		return ErrTransient
+	}
+	return nil
+}
+
+// Recv blocks for the next message from the peer.
+func (c *Conn) Recv() (Msg, error) {
+	if c.closed {
+		return Msg{}, ErrTransient
+	}
+	return Msg{Seq: 1}, nil
+}
+
+// Close tears the link down.
+func (c *Conn) Close() error {
+	c.closed = true
+	return nil
+}

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// loadProgram loads a synthetic module and builds its Program.
+func loadProgram(t *testing.T, files map[string]string) (*Program, []*Package) {
+	t.Helper()
+	root := writeTree(t, files)
+	l, err := NewLoader(Config{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(pkgs); err != nil {
+		t.Fatal(err)
+	}
+	return NewProgram(pkgs), pkgs
+}
+
+// fnNamed finds a declared function or method by name across the program.
+func fnNamed(t *testing.T, p *Program, name string) *types.Func {
+	t.Helper()
+	for _, fn := range p.order {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not found in program", name)
+	return nil
+}
+
+const effectsMod = "module effectstest\n\ngo 1.22\n"
+
+func TestSummaryDirectParamWrite(t *testing.T) {
+	p, _ := loadProgram(t, map[string]string{
+		"go.mod": effectsMod,
+		"a/a.go": `package a
+
+var gcount int
+
+func fill(dst []float32, v float32) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+func scale(dst []float32, lo, hi int, v float32) {
+	for i := lo; i < hi; i++ {
+		dst[i] *= v
+	}
+}
+
+func local(n int) int {
+	buf := make([]int, n)
+	buf[0] = n // write to a local: not a caller-visible effect
+	return buf[0]
+}
+
+func bump() { gcount++ }
+`,
+	})
+	s := p.Summary(fnNamed(t, p, "fill"))
+	if !s.Params[0].Found || s.Params[0].Steered {
+		t.Fatalf("fill: want unsteered write through param 0, got %+v", s.Params[0])
+	}
+	s = p.Summary(fnNamed(t, p, "scale"))
+	if !s.Params[0].Found || !s.Params[0].Steered {
+		t.Fatalf("scale: want steered write through param 0, got %+v", s.Params[0])
+	}
+	s = p.Summary(fnNamed(t, p, "local"))
+	if s.Params[0].Found || s.Global.Found {
+		t.Fatalf("local: want no caller-visible writes, got %+v", s)
+	}
+	if !s.Alloc.Found || s.Alloc.What != "make" {
+		t.Fatalf("local: want make allocation, got %+v", s.Alloc)
+	}
+	s = p.Summary(fnNamed(t, p, "bump"))
+	if !s.Global.Found {
+		t.Fatalf("bump: want global write, got %+v", s)
+	}
+}
+
+func TestSummaryPropagatesThroughCalls(t *testing.T) {
+	p, _ := loadProgram(t, map[string]string{
+		"go.mod": effectsMod,
+		"a/a.go": `package a
+
+type Buf struct{ data []float64 }
+
+// poke writes its receiver's backing array through an alias.
+func (b *Buf) poke(i int, v float64) {
+	d := b.data
+	d[i] = v
+}
+
+// steered keeps the write range parameter-controlled at every hop.
+func steered(b *Buf, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		b.poke(i, 0)
+	}
+}
+
+// unsteered fixes the location, severing the steering chain.
+func unsteered(b *Buf) {
+	b.poke(0, 0)
+}
+
+// deep buries an allocation two calls down.
+func deep() []byte  { return mid() }
+func mid() []byte   { return leaf() }
+func leaf() []byte  { return make([]byte, 8) }
+
+func spawnIndirect() { spawner() }
+func spawner()       { go func() {}() }
+`,
+	})
+	s := p.Summary(fnNamed(t, p, "poke"))
+	if !s.Recv.Found || !s.Recv.Steered {
+		t.Fatalf("poke: want steered receiver write via alias, got %+v", s.Recv)
+	}
+	s = p.Summary(fnNamed(t, p, "steered"))
+	if !s.Params[0].Found || !s.Params[0].Steered || s.Params[0].Depth != 1 {
+		t.Fatalf("steered: want steered depth-1 write through param 0, got %+v", s.Params[0])
+	}
+	s = p.Summary(fnNamed(t, p, "unsteered"))
+	if !s.Params[0].Found || s.Params[0].Steered {
+		t.Fatalf("unsteered: want unsteered write through param 0, got %+v", s.Params[0])
+	}
+	s = p.Summary(fnNamed(t, p, "deep"))
+	if !s.Alloc.Found || s.Alloc.Depth != 2 || s.Alloc.What != "make" {
+		t.Fatalf("deep: want depth-2 make, got %+v", s.Alloc)
+	}
+	if !p.Summary(fnNamed(t, p, "spawnIndirect")).Spawns {
+		t.Fatal("spawnIndirect: want Spawns via callee")
+	}
+}
+
+func TestSummaryAllocWaiversAndPanics(t *testing.T) {
+	p, _ := loadProgram(t, map[string]string{
+		"go.mod": effectsMod,
+		"a/a.go": `package a
+
+// ring grows amortized within pre-sized capacity; the waiver keeps the
+// append out of every caller's summary.
+func ring(buf []int, v int) []int {
+	//dnnlint:ignore hotalloc amortized growth within pre-sized capacity
+	return append(buf, v)
+}
+
+func checked(n int) {
+	if n < 0 {
+		panic("bad " + string(rune(n)))
+	}
+}
+
+func sprint(n int) string {
+	return stringify(n)
+}
+
+func stringify(n int) string {
+	if n < 0 {
+		panic(stringifyBad(n)) // callee alloc under panic: not counted
+	}
+	return "ok"
+}
+
+func stringifyBad(n int) string { return string(make([]byte, 1)) }
+`,
+	})
+	if s := p.Summary(fnNamed(t, p, "ring")); s.Alloc.Found {
+		t.Fatalf("ring: waived append must not appear in summary, got %+v", s.Alloc)
+	}
+	if s := p.Summary(fnNamed(t, p, "checked")); s.Alloc.Found {
+		t.Fatalf("checked: panic-path allocation must not count, got %+v", s.Alloc)
+	}
+	if s := p.Summary(fnNamed(t, p, "stringify")); s.Alloc.Found {
+		t.Fatalf("stringify: callee alloc under panic must not propagate, got %+v", s.Alloc)
+	}
+}
+
+func TestSummaryTransportErrFlow(t *testing.T) {
+	p, _ := loadProgram(t, map[string]string{
+		"go.mod": effectsMod,
+		"transport/transport.go": `package transport
+
+type Link struct{}
+
+func (l *Link) Send(to int, b []byte) error { return nil }
+func (l *Link) Recv(from int) ([]byte, error) { return nil, nil }
+`,
+		"dist/dist.go": `package dist
+
+import "effectstest/transport"
+
+// push wraps Send and hands the failure to its caller.
+func push(l *transport.Link, b []byte) error {
+	return l.Send(0, b)
+}
+
+// relay is two hops above the transport call.
+func relay(l *transport.Link, b []byte) error {
+	return push(l, b)
+}
+
+// swallow calls Send but returns no error: handled (or dropped) here.
+func swallow(l *transport.Link, b []byte) {
+	_ = l.Send(0, b)
+}
+`,
+	})
+	if s := p.Summary(fnNamed(t, p, "push")); !s.TransportErr.Found || s.TransportErr.Depth != 0 {
+		t.Fatalf("push: want direct transport error source, got %+v", s.TransportErr)
+	}
+	if s := p.Summary(fnNamed(t, p, "relay")); !s.TransportErr.Found || s.TransportErr.Depth != 1 {
+		t.Fatalf("relay: want depth-1 transport error source, got %+v", s.TransportErr)
+	}
+	if s := p.Summary(fnNamed(t, p, "swallow")); s.TransportErr.Found {
+		t.Fatalf("swallow: no error result, must not be an error source, got %+v", s.TransportErr)
+	}
+}
+
+func TestCallGraphResolvesCrossPackage(t *testing.T) {
+	p, pkgs := loadProgram(t, map[string]string{
+		"go.mod": effectsMod,
+		"a/a.go": `package a
+
+func Helper(dst []int) { dst[0] = 1 }
+`,
+		"b/b.go": `package b
+
+import "effectstest/a"
+
+func Use(dst []int) { a.Helper(dst) }
+`,
+	})
+	use := fnNamed(t, p, "Use")
+	fi := p.FuncInfo(use)
+	if fi == nil || len(fi.Callees) != 1 || fi.Callees[0].Name() != "Helper" {
+		t.Fatalf("Use: want one callee Helper, got %+v", fi)
+	}
+	// The cross-package edge must carry effects: Use writes dst[0] via Helper.
+	if s := p.Summary(use); !s.Params[0].Found || s.Params[0].Depth != 1 {
+		t.Fatalf("Use: want depth-1 param write via Helper, got %+v", s.Params[0])
+	}
+	_ = pkgs
+}

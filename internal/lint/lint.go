@@ -67,6 +67,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Prog is the interprocedural view over the whole analysis set:
+	// the call graph and per-function effect summaries (callgraph.go,
+	// effects.go). It is shared by every pass of one Run.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -98,6 +102,7 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // is converted into its own finding.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -106,6 +111,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				diags:    &diags,
 			}
 			a.Run(pass)

@@ -142,6 +142,7 @@ func (p *Pool) runTask(t task, rank int) {
 		if r := recover(); r != nil {
 			p.mu.Lock()
 			if p.firstPanic == nil {
+				//dnnlint:ignore hotalloc panic-recovery path: runs at most once per worker panic, never in steady state
 				p.firstPanic = fmt.Sprintf("par: worker %d panicked: %v", rank, r)
 			}
 			p.mu.Unlock()

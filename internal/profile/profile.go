@@ -77,6 +77,7 @@ func (r *Recorder) Add(layer string, phase Phase, d time.Duration) {
 		r.stats[k] = s
 		if _, dup := r.seen[layer]; !dup {
 			r.seen[layer] = struct{}{}
+			//dnnlint:ignore hotalloc first-sight registration, bounded by layer count; steady state never reaches here
 			r.order = append(r.order, layer)
 		}
 	}

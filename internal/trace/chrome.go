@@ -121,22 +121,11 @@ type ChromeStats struct {
 	WallUS float64
 }
 
-// knownPhases lists every category the exporters emit — the String()
-// form of each Phase. ValidateChromeTrace rejects spans outside this
-// list, so adding a Phase without updating the validator (and the
-// OBSERVABILITY.md phase table) fails CI's trace smoke instead of
-// shipping unlabeled spans.
-var knownPhases = map[string]bool{
-	"forward":   true,
-	"backward":  true,
-	"reduce":    true,
-	"update":    true,
-	"iteration": true,
-	"region":    true,
-	"guard":     true,
-	"serve":     true,
-	"comm":      true,
-}
+// The validator accepts exactly the categories the exporters emit: the
+// shared phase vocabulary (PhaseNames in trace.go). Adding a Phase
+// without adding its table row fails CI's trace smoke instead of
+// shipping unlabeled spans; dnnlint's phasespan analyzer enforces the
+// same vocabulary statically at every span construction site.
 
 // ValidateChromeTrace parses trace-event JSON from r and checks the
 // invariants the exporters guarantee: a non-empty traceEvents array,
@@ -172,7 +161,7 @@ func ValidateChromeTrace(r io.Reader) (ChromeStats, error) {
 			if ev.TS < 0 || ev.Dur < 0 {
 				return stats, fmt.Errorf("trace: event %d (%s) has negative ts/dur", i, ev.Name)
 			}
-			if !knownPhases[ev.Cat] {
+			if !KnownPhase(ev.Cat) {
 				return stats, fmt.Errorf("trace: event %d (%s) has unknown phase category %q", i, ev.Name, ev.Cat)
 			}
 			stats.Complete++

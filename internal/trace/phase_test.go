@@ -1,0 +1,91 @@
+package trace
+
+import "testing"
+
+// The phase vocabulary is a single table consumed by Phase.String, the
+// Chrome-trace validator and dnnlint's phasespan analyzer; these tests
+// pin the table's completeness so a new Phase cannot ship half-wired.
+
+func TestPhaseNamesCoverEveryPhase(t *testing.T) {
+	names := PhaseNames()
+	if len(names) != int(PhaseComm)+1 {
+		t.Fatalf("PhaseNames has %d entries, want %d (one per Phase constant)",
+			len(names), int(PhaseComm)+1)
+	}
+	seen := map[string]bool{}
+	for p := PhaseForward; p <= PhaseComm; p++ {
+		s := p.String()
+		if s == "" {
+			t.Fatalf("Phase(%d).String() is empty", p)
+		}
+		if !KnownPhase(s) {
+			t.Fatalf("Phase(%d).String() = %q is not in the shared vocabulary", p, s)
+		}
+		if seen[s] {
+			t.Fatalf("phase name %q appears twice", s)
+		}
+		seen[s] = true
+	}
+	if KnownPhase("bogus") {
+		t.Fatal("KnownPhase accepted a name outside the table")
+	}
+	if got := Phase(99).String(); got != "region" {
+		t.Fatalf("out-of-range phase renders %q, want the region fallback", got)
+	}
+}
+
+func TestPhaseNamesReturnsACopy(t *testing.T) {
+	a := PhaseNames()
+	a[0] = "clobbered"
+	if b := PhaseNames(); b[0] != PhaseForward.String() {
+		t.Fatalf("mutating the returned slice leaked into the table: %q", b[0])
+	}
+}
+
+func TestBeginEndRecordsNestedSpans(t *testing.T) {
+	tr := New(1)
+	tr.Begin("iteration", PhaseIteration)
+	tr.Begin("fwd", PhaseForward)
+	tr.End()
+	tr.End()
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// The outer span starts first; Snapshot orders by start time.
+	if spans[0].Name != "iteration" || spans[0].Phase != PhaseIteration {
+		t.Fatalf("outer span = %+v", spans[0])
+	}
+	if spans[1].Name != "fwd" || spans[1].Phase != PhaseForward {
+		t.Fatalf("inner span = %+v", spans[1])
+	}
+	for _, s := range spans {
+		if s.Rank != RankDriver || s.Band != -1 {
+			t.Fatalf("Begin/End span must be a driver non-band span, got %+v", s)
+		}
+		if s.Dur < 0 {
+			t.Fatalf("negative duration: %+v", s)
+		}
+	}
+	if spans[0].End() < spans[1].End() {
+		t.Fatalf("outer span ended before inner: %+v vs %+v", spans[0], spans[1])
+	}
+}
+
+func TestBeginEndNilAndUnbalancedAreSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Begin("x", PhaseForward) // must not panic or read a clock
+	tr.End()
+
+	live := New(1)
+	live.End() // no open span: no-op
+	if got := live.Len(); got != 0 {
+		t.Fatalf("unbalanced End recorded %d spans", got)
+	}
+	live.Begin("open", PhaseRegion)
+	live.Reset() // Reset discards the open stack with the spans
+	live.End()
+	if got := live.Len(); got != 0 {
+		t.Fatalf("End after Reset recorded %d spans, want 0", got)
+	}
+}

@@ -76,28 +76,51 @@ const (
 	PhaseComm
 )
 
+// phaseNames is the single source of truth for the phase vocabulary,
+// indexed by Phase value. Everything that names a phase derives from
+// this table: Phase.String, the Chrome-trace validator (chrome.go), the
+// OBSERVABILITY.md phase table, and dnnlint's phasespan analyzer (which
+// imports it via PhaseNames/KnownPhase). Adding a Phase means adding a
+// row here — and nowhere else.
+var phaseNames = [...]string{
+	PhaseForward:   "forward",
+	PhaseBackward:  "backward",
+	PhaseReduce:    "reduce",
+	PhaseUpdate:    "update",
+	PhaseIteration: "iteration",
+	PhaseRegion:    "region",
+	PhaseGuard:     "guard",
+	PhaseServe:     "serve",
+	PhaseComm:      "comm",
+}
+
+// PhaseNames returns the canonical phase vocabulary in Phase order.
+// The returned slice is a copy; callers may keep it.
+func PhaseNames() []string {
+	out := make([]string, len(phaseNames))
+	copy(out, phaseNames[:])
+	return out
+}
+
+// KnownPhase reports whether name is in the phase vocabulary — the
+// exact acceptance test the Chrome-trace validator applies to span
+// categories, shared so tools (dnnlint's phasespan analyzer, external
+// trace consumers) cannot drift from the exporter.
+func KnownPhase(name string) bool {
+	for _, n := range phaseNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // String implements fmt.Stringer.
 func (p Phase) String() string {
-	switch p {
-	case PhaseForward:
-		return "forward"
-	case PhaseBackward:
-		return "backward"
-	case PhaseReduce:
-		return "reduce"
-	case PhaseUpdate:
-		return "update"
-	case PhaseIteration:
-		return "iteration"
-	case PhaseGuard:
-		return "guard"
-	case PhaseServe:
-		return "serve"
-	case PhaseComm:
-		return "comm"
-	default:
-		return "region"
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
 	}
+	return "region"
 }
 
 // short is the compact phase tag used in exported span names.
@@ -174,6 +197,7 @@ type shard struct {
 
 func (sh *shard) add(s Span) {
 	if len(sh.buf) < cap(sh.buf) {
+		//dnnlint:ignore hotalloc ring fill within capacity pre-allocated by NewTracer; never grows
 		sh.buf = append(sh.buf, s)
 		return
 	}
@@ -210,6 +234,16 @@ type Tracer struct {
 	// droppedUnknown counts spans whose rank had no shard (a pool larger
 	// than the tracer was created for). Atomic: any goroutine may trip it.
 	droppedUnknown int64
+	// open is the driver-side stack of Begin spans awaiting End.
+	// Driver-goroutine only, like scope.
+	open []openSpan
+}
+
+// openSpan is one Begin awaiting its matching End.
+type openSpan struct {
+	name  string
+	phase Phase
+	start time.Duration
 }
 
 // New creates a tracer for a team of `workers` pool ranks (plus the
@@ -303,6 +337,37 @@ func (t *Tracer) Record(s Span) {
 	t.shards[idx].add(s)
 }
 
+// Begin opens a driver-side span: the interval from this call to the
+// matching End is recorded as one Span with Rank RankDriver. Begins
+// nest as a stack (iteration > phase > layer). Like every Tracer method
+// it is nil-safe, and a nil tracer reads no clock. dnnlint's phasespan
+// analyzer enforces the pairing discipline statically: every Begin must
+// have a block-balanced End, and phase must be a named constant from
+// the shared vocabulary.
+func (t *Tracer) Begin(name string, phase Phase) {
+	if t == nil {
+		return
+	}
+	//dnnlint:ignore hotalloc span stack reaches steady nesting depth once, then reuses its capacity
+	t.open = append(t.open, openSpan{name: name, phase: phase, start: t.Now()})
+}
+
+// End closes the innermost open Begin and records its span. End with no
+// open span (or on a nil tracer) does nothing, so unwinding paths may
+// call it unconditionally.
+func (t *Tracer) End() {
+	if t == nil {
+		return
+	}
+	if len(t.open) == 0 {
+		return
+	}
+	o := t.open[len(t.open)-1]
+	t.open = t.open[:len(t.open)-1]
+	t.Record(Span{Name: o.name, Phase: o.phase, Rank: RankDriver, Band: -1,
+		Start: o.start, Dur: t.Now() - o.start})
+}
+
 // Dropped returns how many spans were lost to ring overflow or unknown
 // ranks. Call it (like Snapshot) only while no region is in flight.
 func (t *Tracer) Dropped() int64 {
@@ -355,6 +420,7 @@ func (t *Tracer) Reset() {
 		sh.dropped = 0
 	}
 	atomic.StoreInt64(&t.droppedUnknown, 0)
+	t.open = t.open[:0]
 	t.epoch = time.Now()
 }
 

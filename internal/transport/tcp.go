@@ -217,6 +217,7 @@ func newTCP(rank int, conns []gonet.Conn) *TCP {
 		}
 		t.writers[peer] = newTCPWriter()
 		t.inboxes[peer] = newInbox()
+		//dnnlint:ignore gorolife joined by the closeFlush cond handshake: Close drains the queue and loop exits on the closed flag
 		go t.writers[peer].loop(conn)
 		t.readers.Add(1)
 		go t.readLoop(peer, conn)

@@ -34,9 +34,12 @@ go build -o "$tmpdir/dnnlint" ./cmd/dnnlint
 
 # Self-test: the gate is worthless if the linter silently stops seeing
 # violations, so prove each invariant still fires on a known-bad fixture.
-# One probe per analyzer, in the catalogue order of LINTING.md §1–5
-# (parbody, orderedreduce, blobalias, hotalloc, tracenil); hotalloc gets
-# a second probe for its serving-path extension (servehot).
+# One probe per analyzer, in the catalogue order of LINTING.md §1–9
+# (parbody, orderedreduce, blobalias, hotalloc, tracenil, transerr,
+# gorolife, phasespan, chanmisuse); parbody and hotalloc get second
+# probes for their interprocedural v2 extensions (interproc, hotcall)
+# and hotalloc a third for the serving path (servehot). The probes
+# reuse the dnnlint binary built above — one `go build`, many runs.
 echo "== dnnlint self-test (each seeded violation must be flagged) =="
 lint_probe() { # lint_probe <analyzer> <fixture-pkg>
 	if "$tmpdir/dnnlint" -only "$1" -src internal/lint/analyzers/testdata/src \
@@ -46,11 +49,17 @@ lint_probe() { # lint_probe <analyzer> <fixture-pkg>
 	fi
 }
 lint_probe parbody parbody
+lint_probe parbody interproc
 lint_probe orderedreduce orderedreduce
 lint_probe blobalias blobalias
 lint_probe hotalloc hotalloc
+lint_probe hotalloc hotcall
 lint_probe hotalloc servehot
 lint_probe tracenil tracenil
+lint_probe transerr transerr
+lint_probe gorolife gorolife
+lint_probe phasespan phasespan
+lint_probe chanmisuse chanmisuse
 echo "seeded violations detected, as required"
 
 echo "== go test =="
