@@ -40,6 +40,7 @@ import (
 	"coarsegrain/internal/core"
 	"coarsegrain/internal/data"
 	"coarsegrain/internal/dist"
+	"coarsegrain/internal/faultinject"
 	"coarsegrain/internal/layers"
 	"coarsegrain/internal/net"
 	"coarsegrain/internal/prototxt"
@@ -71,8 +72,23 @@ type config struct {
 	addr     string
 	addrFile string
 
-	snapPath  string
-	tracePath string
+	snapPath   string
+	tracePath  string
+	resumePath string
+
+	elastic      bool
+	fenceDir     string
+	minRanks     int
+	rejoin       bool
+	heartbeat    time.Duration
+	peerTimeout  time.Duration
+	iterDeadline time.Duration
+
+	chaosMode  string
+	chaosRank  int
+	chaosIter  int
+	chaosDelay time.Duration
+	chaosSeed  uint64
 
 	noOverlap  bool
 	flakyDrop  float64
@@ -103,6 +119,19 @@ func main() {
 	flag.StringVar(&c.addrFile, "addr-file", "", "coordinator: write rendezvous address here; worker: read it from here")
 	flag.StringVar(&c.snapPath, "snapshot", "", "root: write the final solver snapshot here (dnntrain-compatible)")
 	flag.StringVar(&c.tracePath, "trace", "", "write a Chrome trace-event JSON of this rank's run here")
+	flag.StringVar(&c.resumePath, "resume", "", "resume from this solver snapshot (-iters is the absolute target iteration)")
+	flag.BoolVar(&c.elastic, "elastic", false, "run under the elastic supervisor: heartbeat failure detection + checkpoint-fenced membership")
+	flag.StringVar(&c.fenceDir, "fence-dir", "", "elastic: fence checkpoint directory (required on rank 0)")
+	flag.IntVar(&c.minRanks, "min-ranks", 1, "elastic: abort rather than shrink the group below this many ranks")
+	flag.BoolVar(&c.rejoin, "rejoin", false, "elastic: evicted ranks wait to rejoin instead of exiting")
+	flag.DurationVar(&c.heartbeat, "heartbeat", 0, "elastic: coordinator ping period (default 20ms)")
+	flag.DurationVar(&c.peerTimeout, "peer-timeout", 0, "elastic: silence after which a member is declared dead (default 10 heartbeats)")
+	flag.DurationVar(&c.iterDeadline, "iter-deadline", 0, "elastic: per-iteration straggler deadline (0 disables)")
+	flag.StringVar(&c.chaosMode, "chaos-mode", "none", "inject a cluster failure (local role): none | crash | hang | partition | straggle")
+	flag.IntVar(&c.chaosRank, "chaos-rank", -1, "chaos victim rank (-1: seeded choice, never rank 0)")
+	flag.IntVar(&c.chaosIter, "chaos-iter", -1, "chaos trigger iteration (-1: seeded choice)")
+	flag.DurationVar(&c.chaosDelay, "chaos-delay", 0, "straggle: injected per-iteration delay (default 250ms)")
+	flag.Uint64Var(&c.chaosSeed, "chaos-seed", 1, "seed for the unset -chaos-* choices")
 	flag.BoolVar(&c.noOverlap, "no-overlap", false, "disable the backward-hook scatter overlap (values are identical)")
 	flag.Float64Var(&c.flakyDrop, "flaky-drop", 0, "inject send drops with this probability (deterministic per -flaky-seed)")
 	flag.Float64Var(&c.flakyDup, "flaky-dup", 0, "inject duplicate sends with this probability")
@@ -251,29 +280,256 @@ func (c config) wrapFlaky(t transport.Transport) transport.Transport {
 	}, c.flakySeed+uint64(t.Rank()))
 }
 
+// skipBatches advances every data layer's cursor past the batches a
+// resumed run already consumed, so batch numbering continues where the
+// snapshot left off.
+func skipBatches(n *net.Net, batches int) {
+	for _, l := range n.Layers() {
+		if d, ok := l.(*layers.Data); ok {
+			d.Skip(batches)
+		}
+	}
+}
+
+// engineBag collects the engines the elastic Rebuild callback creates —
+// one per membership the rank lives through — for teardown after the
+// run. Rebuild can race with nothing here (the supervisor serializes
+// fences), but the bag is locked anyway so the contract is local.
+type engineBag struct {
+	mu      sync.Mutex
+	engines []core.Engine
+}
+
+func (b *engineBag) add(e core.Engine) {
+	b.mu.Lock()
+	b.engines = append(b.engines, e)
+	b.mu.Unlock()
+}
+
+func (b *engineBag) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.engines {
+		e.Close()
+	}
+	b.engines = nil
+}
+
+// chaosScenario resolves the -chaos-* flags into a concrete failure
+// plan: explicit -chaos-rank/-chaos-iter pin the choice, anything left
+// unset is drawn from the seeded injector so a drill replays from
+// -chaos-seed alone.
+func (c config) chaosScenario() (*faultinject.ClusterScenario, error) {
+	if c.chaosMode == "" || c.chaosMode == "none" {
+		return nil, nil
+	}
+	var mode transport.ChaosMode
+	switch c.chaosMode {
+	case "crash":
+		mode = transport.ChaosCrash
+	case "hang":
+		mode = transport.ChaosHang
+	case "partition":
+		mode = transport.ChaosPartition
+	case "straggle":
+		mode = transport.ChaosStraggle
+	default:
+		return nil, fmt.Errorf("unknown -chaos-mode %q (none|crash|hang|partition|straggle)", c.chaosMode)
+	}
+	s, err := faultinject.New(c.chaosSeed).ClusterScenario(c.replicas, c.iters, mode)
+	if err != nil {
+		return nil, err
+	}
+	if c.chaosRank >= 0 {
+		if c.chaosRank == 0 {
+			return nil, fmt.Errorf("-chaos-rank 0 would kill the coordinator, which owns the solver; pick a worker rank")
+		}
+		s.Victim = c.chaosRank
+	}
+	if c.chaosIter >= 0 {
+		s.AtIter = c.chaosIter
+	}
+	s.Delay = c.chaosDelay
+	return &s, nil
+}
+
+// runElasticRank drives one rank under the elastic supervisor
+// (dist.RunElastic): the Rebuild callback reconstructs this rank's
+// network for whatever membership each fence settles on, with the data
+// cursor positioned at the fence iteration.
+func runElasticRank(c config, t transport.Transport, src layers.Source) error {
+	engines := &engineBag{}
+	defer engines.Close()
+	startIter := 0
+	if c.resumePath != "" {
+		var err error
+		if startIter, err = snapshot.PeekSolverIter(c.resumePath); err != nil {
+			return err
+		}
+	}
+	cfg := dist.ElasticConfig{
+		Iters: c.iters,
+		Rebuild: func(rank, size, iter int) (*net.Net, error) {
+			n, eng, err := c.buildRankNet(src, rank, size)
+			if err != nil {
+				return nil, err
+			}
+			engines.add(eng)
+			skipBatches(n, iter)
+			return n, nil
+		},
+		Solver:       c.solverConfig(),
+		Opts:         c.distOptions(),
+		StartIter:    startIter,
+		MinRanks:     c.minRanks,
+		Rejoin:       c.rejoin,
+		Heartbeat:    c.heartbeat,
+		PeerTimeout:  c.peerTimeout,
+		IterDeadline: c.iterDeadline,
+	}
+	if t.Rank() == 0 {
+		cfg.FenceDir = c.fenceDir
+		cfg.ResumePath = c.resumePath
+		cfg.SnapshotPath = c.snapPath
+	}
+	rpt, err := dist.RunElastic(t, cfg)
+	if err != nil {
+		return fmt.Errorf("rank %d: %w", t.Rank(), err)
+	}
+	if t.Rank() == 0 {
+		for _, f := range rpt.Fences {
+			fmt.Printf("fence: epoch %d at iteration %d -> members %v (removed %v, joined %v), checkpoint %s\n",
+				f.Epoch, f.Iter, f.Members, f.Removed, f.Joined, f.Checkpoint)
+		}
+		if len(rpt.Losses) > 0 {
+			fmt.Printf("iter %5d  loss %.6f\n", c.iters, rpt.Losses[len(rpt.Losses)-1])
+		}
+		fmt.Printf("elastic run complete: %d ranks at finish, %d fence(s)\n", rpt.FinalSize, len(rpt.Fences))
+		if c.snapPath != "" {
+			fmt.Printf("snapshot written to %s (iteration %d)\n", c.snapPath, c.iters)
+		}
+	} else if rpt.Evicted {
+		fmt.Printf("rank %d: evicted by fence, exiting cleanly\n", t.Rank())
+	}
+	return nil
+}
+
+// runLocalElastic is the in-process elastic run: k ranks over the Local
+// transport, optionally with one seeded failure injected via -chaos-*.
+// The victim's own error is the injection working, not a run failure —
+// it is reported and tolerated; any other rank failing fails the run.
+func runLocalElastic(c config) error {
+	src, err := c.source()
+	if err != nil {
+		return err
+	}
+	scenario, err := c.chaosScenario()
+	if err != nil {
+		return err
+	}
+	group := transport.NewLocalGroup(c.replicas)
+	trs := make([]transport.Transport, c.replicas)
+	for r := range group {
+		trs[r] = c.wrapFlaky(group[r])
+	}
+	victim := -1
+	if scenario != nil {
+		if _, err := scenario.Wrap(trs); err != nil {
+			return err
+		}
+		victim = scenario.Victim
+		fmt.Printf("chaos: %s\n", scenario)
+	}
+	errs := make([]error, c.replicas)
+	done := make([]chan struct{}, c.replicas)
+	for r := 0; r < c.replicas; r++ {
+		done[r] = make(chan struct{})
+		go func(r int) {
+			defer close(done[r])
+			rc := c
+			if r != 0 {
+				rc.tracePath = ""
+			}
+			errs[r] = runElasticRank(rc, trs[r], src)
+			trs[r].Close()
+		}(r)
+	}
+	// A hung victim blocks until its endpoint closes; waiting for the
+	// survivors first, then closing the victim's transport, unblocks it
+	// without ever abandoning a goroutine.
+	for r := 0; r < c.replicas; r++ {
+		if r != victim {
+			<-done[r]
+		}
+	}
+	if victim >= 0 {
+		trs[victim].Close()
+		<-done[victim]
+	}
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if r == victim {
+			fmt.Printf("rank %d failed as injected: %v\n", r, err)
+			continue
+		}
+		return err
+	}
+	return nil
+}
+
 // runRank drives one rank to completion: build the node, step, and on
-// the root print losses, write the snapshot and the trace.
+// the root print losses, write the snapshot and the trace. With -resume
+// every rank positions its data cursor at the snapshot's iteration, the
+// root reloads the solver state, and the group syncs weights before
+// stepping — the same sequence the elastic supervisor runs after a
+// fence, so a resumed run is bit-identical to one that never stopped.
 func runRank(c config, t transport.Transport, n *net.Net) error {
 	var tr *trace.Tracer
 	if c.tracePath != "" {
 		tr = trace.New(c.workers)
 		n.SetTracer(tr)
 	}
+	opts := c.distOptions()
+	startIter := 0
+	if c.resumePath != "" {
+		var err error
+		if startIter, err = snapshot.PeekSolverIter(c.resumePath); err != nil {
+			return err
+		}
+		if c.iters <= startIter {
+			return fmt.Errorf("-iters %d is not beyond the resumed iteration %d (it is the absolute target)", c.iters, startIter)
+		}
+		skipBatches(n, startIter)
+		opts.StartIter = startIter
+	}
 	var nd *dist.Node
 	var err error
 	if t.Rank() == 0 {
-		nd, err = dist.NewRoot(t, n, c.solverConfig(), c.distOptions())
+		nd, err = dist.NewRoot(t, n, c.solverConfig(), opts)
 	} else {
-		nd, err = dist.NewWorker(t, n, c.distOptions())
+		nd, err = dist.NewWorker(t, n, opts)
 	}
 	if err != nil {
 		return err
 	}
+	if c.resumePath != "" {
+		if t.Rank() == 0 {
+			if err := snapshot.LoadSolverFile(c.resumePath, nd.Solver()); err != nil {
+				return err
+			}
+			fmt.Printf("resumed from %s at iteration %d\n", c.resumePath, startIter)
+		}
+		if err := nd.SyncWeights(); err != nil {
+			return fmt.Errorf("rank %d: resume sync: %w", t.Rank(), err)
+		}
+	}
 	if t.Rank() == 0 {
 		fmt.Printf("training %d iterations: %d replicas, fanout %d, tree depth %d\n",
-			c.iters, nd.Size(), nd.Tree().Fanout(), nd.Tree().Depth())
+			c.iters-startIter, nd.Size(), nd.Tree().Fanout(), nd.Tree().Depth())
 	}
-	remaining := c.iters
+	remaining := c.iters - startIter
 	for remaining > 0 {
 		step := c.display
 		if step <= 0 || step > remaining {
@@ -308,6 +564,9 @@ func runRank(c config, t transport.Transport, n *net.Net) error {
 func runLocal(c config) error {
 	if c.replicas < 1 {
 		return fmt.Errorf("need -replicas >= 1")
+	}
+	if c.elastic {
+		return runLocalElastic(c)
 	}
 	src, err := c.source()
 	if err != nil {
@@ -369,16 +628,19 @@ func runCoordinator(c config) error {
 	if err != nil {
 		return err
 	}
-	n, eng, err := c.buildRankNet(src, 0, c.replicas)
-	if err != nil {
-		return err
-	}
-	defer eng.Close()
 	t, err := coord.Wait()
 	if err != nil {
 		return err
 	}
 	defer t.Close()
+	if c.elastic {
+		return runElasticRank(c, c.wrapFlaky(t), src)
+	}
+	n, eng, err := c.buildRankNet(src, 0, c.replicas)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
 	return runRank(c, c.wrapFlaky(t), n)
 }
 
@@ -404,6 +666,20 @@ func runWorker(c config) error {
 	src, err := c.source()
 	if err != nil {
 		return err
+	}
+	if c.elastic {
+		// A TCP worker can be the chaos victim too: wrap its own
+		// endpoint when -chaos-rank names this rank.
+		tr := c.wrapFlaky(t)
+		if s, err := c.chaosScenario(); err != nil {
+			return err
+		} else if s != nil && s.Victim == t.Rank() {
+			fmt.Printf("chaos: %s (this rank)\n", s)
+			tr = transport.NewChaos(tr, transport.ChaosConfig{
+				Mode: s.Mode, AtIter: s.AtIter, Peers: s.Peers, StraggleDelay: s.Delay,
+			}, 0)
+		}
+		return runElasticRank(c, tr, src)
 	}
 	n, eng, err := c.buildRankNet(src, t.Rank(), t.Size())
 	if err != nil {

@@ -51,12 +51,24 @@
 // when the fault budget exceeds the retry budget — fails loudly, never
 // silently diverges. This is the guard/faultinject philosophy
 // (ROBUSTNESS.md) extended to the network.
+//
+// Failures beyond a transient frame — a crashed rank, a hang, a
+// partition — surface as transport.ErrPeerDown (or unwind via
+// transport.Interrupt) and are handled one level up: the elastic
+// supervisor in elastic.go detects them with heartbeats, fences the
+// group at the last completed iteration, and re-forms a smaller (or,
+// on rejoin, larger) membership that resumes from the fenced
+// checkpoint. Options.Epoch and Options.StartIter exist so a re-formed
+// Node is indistinguishable from one freshly built for a clean run
+// resumed at that iteration — which is the whole determinism argument
+// for degraded continuation.
 package dist
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"coarsegrain/internal/net"
@@ -92,6 +104,16 @@ type Options struct {
 	NoOverlap bool
 	// Retry bounds transient-send retries; zero value = DefaultRetry.
 	Retry RetryConfig
+	// Epoch is the membership epoch stamped into every tag (0 for a
+	// group that has never fenced). The elastic supervisor bumps it at
+	// each fence so stale frames from an abandoned membership can never
+	// alias the new one's.
+	Epoch int
+	// StartIter is the iteration numbering starts at (0 for a fresh
+	// run). A node resuming from a fenced checkpoint at iteration F is
+	// built with StartIter F so its tags, and therefore its protocol
+	// state, match a clean run resumed there.
+	StartIter int
 }
 
 func (o Options) withDefaults() Options {
@@ -129,7 +151,14 @@ type Node struct {
 	// sequence every rank iterates identically.
 	paramOrder []int
 	scale      float32
+	epoch      int
 	iter       int
+
+	// waiting is the rank this node is currently blocked on in a
+	// data-plane Recv (-1 when not blocked). The elastic supervisor's
+	// straggler detection reads it — and ships it in heartbeat replies —
+	// to follow the wait chain to the rank that is actually slow.
+	waiting atomic.Int64
 
 	parent   int
 	children []int
@@ -175,6 +204,12 @@ func newNode(t transport.Transport, n *net.Net, s *solver.Solver, opts Options) 
 	if size < 1 {
 		return nil, fmt.Errorf("dist: transport group size %d", size)
 	}
+	if opts.Epoch < 0 || opts.Epoch > transport.MaxEpoch {
+		return nil, fmt.Errorf("dist: membership epoch %d out of range [0,%d]", opts.Epoch, transport.MaxEpoch)
+	}
+	if opts.StartIter < 0 || opts.StartIter > transport.MaxIter {
+		return nil, fmt.Errorf("dist: start iteration %d out of range [0,%d]", opts.StartIter, transport.MaxIter)
+	}
 	params := n.Params()
 	if len(params) == 0 {
 		return nil, fmt.Errorf("dist: net has no parameters")
@@ -188,11 +223,14 @@ func newNode(t transport.Transport, n *net.Net, s *solver.Solver, opts Options) 
 		opts: opts, tracer: n.Tracer(),
 		paramOrder: n.BackwardParamOrder(),
 		scale:      1 / float32(size),
+		epoch:      opts.Epoch,
+		iter:       opts.StartIter,
 		parent:     tree.Parent(t.Rank()),
 		children:   tree.Children(t.Rank()),
 		pre:        tree.Preorder(t.Rank()),
 		sent:       make([]bool, len(params)),
 	}
+	nd.waiting.Store(-1)
 	for _, c := range nd.children {
 		nd.childPre = append(nd.childPre, tree.Preorder(c))
 	}
@@ -218,6 +256,27 @@ func (nd *Node) Tree() Tree { return nd.tree }
 
 // Iter returns the completed iteration count.
 func (nd *Node) Iter() int { return nd.iter }
+
+// Epoch returns the membership epoch this node's tags carry.
+func (nd *Node) Epoch() int { return nd.epoch }
+
+// WaitingOn returns the rank this node is currently blocked on in a
+// data-plane Recv, or -1. Safe to call from another goroutine.
+func (nd *Node) WaitingOn() int { return int(nd.waiting.Load()) }
+
+// tag packs a label for the current (epoch, iteration).
+func (nd *Node) tag(k transport.Kind, param, origin int) transport.Tag {
+	return transport.MakeTagE(k, nd.epoch, nd.iter, param, origin)
+}
+
+// recv wraps the transport Recv with waiting-rank bookkeeping so the
+// elastic supervisor can see who the lockstep protocol is blocked on.
+func (nd *Node) recv(from int, tag transport.Tag, buf []float32) error {
+	nd.waiting.Store(int64(from))
+	err := nd.tr.Recv(from, tag, buf)
+	nd.waiting.Store(-1)
+	return err
+}
 
 // Net returns the node's network.
 func (nd *Node) Net() *net.Net { return nd.network }
@@ -297,7 +356,7 @@ func (nd *Node) step() (float64, error) {
 	// so the global mean is computed from exact values).
 	if nd.rank != 0 {
 		lossBits := encodeF64(loss)
-		tag := transport.MakeTag(transport.KindLoss, nd.iter, 0, nd.rank)
+		tag := nd.tag(transport.KindLoss, 0, nd.rank)
 		if err := nd.sendRetry(0, tag, lossBits[:]); err != nil {
 			return 0, err
 		}
@@ -322,8 +381,8 @@ func (nd *Node) step() (float64, error) {
 		sum := loss
 		var bits [2]float32
 		for r := 1; r < nd.size; r++ {
-			tag := transport.MakeTag(transport.KindLoss, nd.iter, 0, r)
-			if err := nd.tr.Recv(r, tag, bits[:]); err != nil {
+			tag := nd.tag(transport.KindLoss, 0, r)
+			if err := nd.recv(r, tag, bits[:]); err != nil {
 				return 0, fmt.Errorf("dist: loss from rank %d: %w", r, err)
 			}
 			sum += decodeF64(bits)
@@ -364,7 +423,7 @@ func (nd *Node) scatterParam(pi int) error {
 		if lo == hi {
 			continue
 		}
-		tag := transport.MakeTag(transport.KindGrad, nd.iter, pi, nd.rank)
+		tag := nd.tag(transport.KindGrad, pi, nd.rank)
 		if err := nd.sendRetry(o, tag, diff[lo:hi]); err != nil {
 			return err
 		}
@@ -394,8 +453,8 @@ func (nd *Node) foldParam(pi int) (int, error) {
 		if r == nd.rank {
 			src = diff[lo:hi]
 		} else {
-			tag := transport.MakeTag(transport.KindGrad, nd.iter, pi, r)
-			if err := nd.tr.Recv(r, tag, tmp); err != nil {
+			tag := nd.tag(transport.KindGrad, pi, r)
+			if err := nd.recv(r, tag, tmp); err != nil {
 				return 0, fmt.Errorf("dist: gradient slice of param %d from rank %d: %w", pi, r, err)
 			}
 		}
@@ -431,8 +490,8 @@ func (nd *Node) gather() error {
 				if lo == hi {
 					continue
 				}
-				tag := transport.MakeTag(transport.KindGather, nd.iter, pi, s)
-				if err := nd.tr.Recv(c, tag, diff[lo:hi]); err != nil {
+				tag := nd.tag(transport.KindGather, pi, s)
+				if err := nd.recv(c, tag, diff[lo:hi]); err != nil {
 					return fmt.Errorf("dist: gather of param %d slice %d from child %d: %w", pi, s, c, err)
 				}
 				moved += hi - lo
@@ -444,7 +503,7 @@ func (nd *Node) gather() error {
 				if lo == hi {
 					continue
 				}
-				tag := transport.MakeTag(transport.KindGather, nd.iter, pi, s)
+				tag := nd.tag(transport.KindGather, pi, s)
 				if err := nd.sendRetry(nd.parent, tag, diff[lo:hi]); err != nil {
 					return err
 				}
@@ -464,9 +523,9 @@ func (nd *Node) bcast() error {
 	moved := 0
 	for pi, p := range nd.network.Params() {
 		data := p.Data()
-		tag := transport.MakeTag(transport.KindBcast, nd.iter, pi, 0)
+		tag := nd.tag(transport.KindBcast, pi, 0)
 		if nd.parent >= 0 {
-			if err := nd.tr.Recv(nd.parent, tag, data); err != nil {
+			if err := nd.recv(nd.parent, tag, data); err != nil {
 				return fmt.Errorf("dist: broadcast of param %d from rank %d: %w", pi, nd.parent, err)
 			}
 			moved += len(data)
@@ -479,6 +538,39 @@ func (nd *Node) bcast() error {
 		}
 	}
 	nd.span("bcast", nd.parent, moved, start)
+	return nil
+}
+
+// SyncWeights re-seeds the whole group with the root's weights: every
+// parameter tensor flows down the reduction tree as a bitwise copy,
+// exactly like bcast but under KindSync and outside any iteration's
+// lockstep. Every member must call it at the same (epoch, iteration) —
+// the elastic supervisor does so right after a fence or rejoin, and a
+// resumed run does so before its first step, which is what makes a
+// re-formed group's weights identical to a clean run's at that point.
+func (nd *Node) SyncWeights() error {
+	if nd.size == 1 {
+		return nil
+	}
+	start := nd.now()
+	moved := 0
+	for pi, p := range nd.network.Params() {
+		data := p.Data()
+		tag := nd.tag(transport.KindSync, pi, 0)
+		if nd.parent >= 0 {
+			if err := nd.recv(nd.parent, tag, data); err != nil {
+				return fmt.Errorf("dist: weight sync of param %d from rank %d: %w", pi, nd.parent, err)
+			}
+			moved += len(data)
+		}
+		for _, c := range nd.children {
+			if err := nd.sendRetry(c, tag, data); err != nil {
+				return err
+			}
+			moved += len(data)
+		}
+	}
+	nd.span("sync", nd.parent, moved, start)
 	return nil
 }
 

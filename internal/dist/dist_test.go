@@ -28,26 +28,27 @@ func solverCfg() solver.Config {
 	return solver.Config{Type: solver.SGD, BaseLR: 0.01, Momentum: 0.9}
 }
 
-// tinySpecs mirrors the replica package's equivalence-test network:
-// conv 4x5x5/2 -> relu -> ip 10 -> loss, seeded weights.
-func tinySpecs(t testing.TB, src layers.Source, batch int) []net.LayerSpec {
-	t.Helper()
+// tinySpecsE mirrors the replica package's equivalence-test network:
+// conv 4x5x5/2 -> relu -> ip 10 -> loss, seeded weights. Error-returning
+// so elastic Rebuild closures (which run off the test goroutine) can
+// use it; tinySpecs wraps it for direct test use.
+func tinySpecsE(src layers.Source, batch int) ([]net.LayerSpec, error) {
 	d, err := layers.NewData("data", src, batch)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	conv, err := layers.NewConvolution("conv1", layers.ConvConfig{
 		NumOutput: 4, Kernel: 5, Stride: 2,
 		WeightFiller: layers.XavierFiller{}, RNG: rng.New(weightSeed, 1),
 	})
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	ip, err := layers.NewInnerProduct("ip1", layers.IPConfig{
 		NumOutput: 10, WeightFiller: layers.XavierFiller{}, RNG: rng.New(weightSeed, 2),
 	})
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	return []net.LayerSpec{
 		{Layer: d, Tops: []string{"data", "label"}},
@@ -55,19 +56,36 @@ func tinySpecs(t testing.TB, src layers.Source, batch int) []net.LayerSpec {
 		{Layer: layers.NewReLU("relu1", 0), Bottoms: []string{"conv1"}, Tops: []string{"relu1"}},
 		{Layer: ip, Bottoms: []string{"relu1"}, Tops: []string{"ip1"}},
 		{Layer: layers.NewSoftmaxWithLoss("loss"), Bottoms: []string{"ip1", "label"}, Tops: []string{"loss"}},
-	}
+	}, nil
 }
 
-// shardNet builds the net rank r of a k-rank group trains: the same
-// seeded architecture over shard r of the global batch.
-func shardNet(t testing.TB, r, k int) *net.Net {
+func tinySpecs(t testing.TB, src layers.Source, batch int) []net.LayerSpec {
 	t.Helper()
-	src := data.NewSyntheticMNIST(sourceLen, dataSeed)
-	shard, err := data.NewShard(src, r, k, globalBatch)
+	specs, err := tinySpecsE(src, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := net.New(tinySpecs(t, shard, shard.LocalBatch()), nil)
+	return specs
+}
+
+// shardNetE builds the net rank r of a k-rank group trains: the same
+// seeded architecture over shard r of the global batch.
+func shardNetE(r, k int) (*net.Net, error) {
+	src := data.NewSyntheticMNIST(sourceLen, dataSeed)
+	shard, err := data.NewShard(src, r, k, globalBatch)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := tinySpecsE(shard, shard.LocalBatch())
+	if err != nil {
+		return nil, err
+	}
+	return net.New(specs, nil)
+}
+
+func shardNet(t testing.TB, r, k int) *net.Net {
+	t.Helper()
+	n, err := shardNetE(r, k)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"testing"
+
+	"coarsegrain/internal/transport"
+)
+
+func TestClusterScenarioIsDeterministic(t *testing.T) {
+	a, err := New(9).ClusterScenario(4, 20, transport.ChaosCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(9).ClusterScenario(4, 20, transport.ChaosCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed gave different scenarios: %v vs %v", a, b)
+	}
+}
+
+func TestClusterScenarioNeverTargetsCoordinatorOrIterZero(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		s, err := New(seed).ClusterScenario(3, 10, transport.ChaosHang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Victim < 1 || s.Victim > 2 {
+			t.Fatalf("seed %d: victim %d outside worker ranks [1,2]", seed, s.Victim)
+		}
+		if s.AtIter < 1 || s.AtIter > 9 {
+			t.Fatalf("seed %d: trigger %d outside [1,9]", seed, s.AtIter)
+		}
+	}
+}
+
+func TestClusterScenarioPartitionCutsCoordinator(t *testing.T) {
+	s, err := New(3).ClusterScenario(3, 8, transport.ChaosPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Peers) != 1 || s.Peers[0] != 0 {
+		t.Fatalf("partition cut %v, want [0]", s.Peers)
+	}
+	if c, err := New(3).ClusterScenario(3, 8, transport.ChaosCrash); err != nil || c.Peers != nil {
+		t.Fatalf("non-partition scenario carries a cut: %v (err %v)", c.Peers, err)
+	}
+}
+
+func TestClusterScenarioWrap(t *testing.T) {
+	s, err := New(5).ClusterScenario(3, 10, transport.ChaosCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := make([]transport.Transport, 3)
+	locals := transport.NewLocalGroup(3)
+	for i, l := range locals {
+		group[i] = l
+	}
+	ch, err := s.Wrap(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if group[s.Victim] != transport.Transport(ch) {
+		t.Fatal("victim's slot was not replaced with the Chaos wrapper")
+	}
+	if ch.TriggerIter() != s.AtIter {
+		t.Fatalf("chaos trigger %d, want planned %d", ch.TriggerIter(), s.AtIter)
+	}
+	for r, tr := range group {
+		if r != s.Victim {
+			if _, wrapped := tr.(*transport.Chaos); wrapped {
+				t.Fatalf("rank %d wrapped; only the victim should be", r)
+			}
+		}
+	}
+	if _, err := s.Wrap(group[:1]); err == nil {
+		t.Fatal("Wrap accepted a group the victim is outside of")
+	}
+}
+
+func TestClusterScenarioValidation(t *testing.T) {
+	if _, err := New(1).ClusterScenario(1, 10, transport.ChaosCrash); err == nil {
+		t.Fatal("accepted a single-rank group")
+	}
+	if _, err := New(1).ClusterScenario(3, 1, transport.ChaosCrash); err == nil {
+		t.Fatal("accepted a single-iteration run")
+	}
+}

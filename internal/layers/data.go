@@ -57,6 +57,21 @@ func (l *Data) Epoch() int { return l.epoch }
 // Rewind resets the read cursor to the beginning of the source.
 func (l *Data) Rewind() { l.cursor = 0 }
 
+// Skip advances the read cursor by batches whole batches without
+// loading any samples, updating the epoch counter across wraparounds.
+// A run resumed (or elastically re-formed) at iteration F calls
+// Skip(F) on a fresh layer so its cursor lands exactly where a clean
+// run's would after F iterations — same samples, same order, which is
+// half of what makes resumed training bit-identical.
+func (l *Data) Skip(batches int) {
+	if batches <= 0 {
+		return
+	}
+	total := l.cursor + batches*l.batchSize
+	l.epoch += total / l.src.Len()
+	l.cursor = total % l.src.Len()
+}
+
 // BatchSize returns the configured batch size.
 func (l *Data) BatchSize() int { return l.batchSize }
 

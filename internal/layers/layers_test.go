@@ -676,6 +676,47 @@ func TestDataLayerBatches(t *testing.T) {
 	}
 }
 
+func TestDataSkipMatchesReadingThrough(t *testing.T) {
+	// Skip(n) must land cursor and epoch exactly where loading n
+	// batches would, wraparound included — the data half of what makes
+	// a resumed (or elastically re-formed) run bit-identical.
+	read, err := NewData("read", countingSource{n: 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readTops := setup(t, read, nil)
+	for i := 0; i < 7; i++ { // 28 samples over a 10-sample source
+		runForward(read, nil, readTops)
+	}
+
+	skip, err := NewData("skip", countingSource{n: 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipTops := setup(t, skip, nil)
+	skip.Skip(7)
+	if skip.Epoch() != read.Epoch() {
+		t.Fatalf("epoch after Skip(7) = %d, want %d", skip.Epoch(), read.Epoch())
+	}
+	runForward(read, nil, readTops)
+	runForward(skip, nil, skipTops)
+	for s := 0; s < 4; s++ {
+		if skipTops[1].Data()[s] != readTops[1].Data()[s] {
+			t.Fatalf("batch after Skip diverged: %v vs %v", skipTops[1].Data(), readTops[1].Data())
+		}
+	}
+
+	// Zero and negative skips are no-ops.
+	before := skipTops[1].Data()[0]
+	skip.Skip(0)
+	skip.Skip(-3)
+	runForward(read, nil, readTops)
+	runForward(skip, nil, skipTops)
+	if skipTops[1].Data()[0] != readTops[1].Data()[0] {
+		t.Fatalf("no-op skip moved the cursor (was %v)", before)
+	}
+}
+
 func TestDataLayerErrors(t *testing.T) {
 	if _, err := NewData("d", nil, 4); err == nil {
 		t.Fatal("nil source accepted")

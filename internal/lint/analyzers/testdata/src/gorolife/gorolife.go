@@ -88,3 +88,35 @@ func (s *server) startWaived() {
 	//dnnlint:ignore gorolife drained by the closeFlush handshake before Close returns
 	go s.loop()
 }
+
+// --- heartbeat goroutines --------------------------------------------
+
+// pingLoop is the failure-detector shape the elastic supervisor spawns:
+// a ticker-driven sender that must be tied to the supervisor's
+// WaitGroup like any other long-lived goroutine.
+func (s *server) pingLoop() {
+	for range s.conns {
+		s.handle(0) // stands in for the periodic SendCtrl ping
+	}
+}
+
+func (s *server) startHeartbeatBad() {
+	go s.pingLoop() // want `naked goroutine in package serve`
+}
+
+// The sanctioned supervisor shape: every listener and the pinger are
+// Add-ed before spawn so Close can wg.Wait them all out.
+func (s *server) startHeartbeatGood(peers int) {
+	for i := 0; i < peers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(1) // stands in for the per-peer RecvCtrl listener
+		}()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.pingLoop()
+	}()
+}

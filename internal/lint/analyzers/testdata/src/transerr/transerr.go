@@ -56,6 +56,34 @@ func okToDrop(c *transport.Conn, m transport.Msg) {
 	swallow(c, m) // ok: swallow has no error result
 }
 
+// --- the control plane is held to the same standard ------------------
+
+func dropCtrl(c *transport.Conn, m transport.Msg) {
+	c.SendCtrl(m) // want `error from transport\.SendCtrl is discarded`
+}
+
+func blankCtrl(c *transport.Conn) transport.Msg {
+	m, _ := c.RecvCtrl() // want `error from transport\.RecvCtrl is assigned to _`
+	return m
+}
+
+// pushCtrl forwards SendCtrl's error, so its summary makes it a
+// transport error source like any data-plane wrapper.
+func pushCtrl(c *transport.Conn, m transport.Msg) error {
+	return c.SendCtrl(m)
+}
+
+func dropWrappedCtrl(c *transport.Conn, m transport.Msg) {
+	pushCtrl(c, m) // want `error from pushCtrl \(which forwards a transport SendCtrl error\) is discarded`
+}
+
+// goodCtrlWaived is the sanctioned best-effort heartbeat shape: the
+// waiver names why the loss is tolerable.
+func goodCtrlWaived(c *transport.Conn) {
+	//dnnlint:ignore transerr heartbeat loss is indistinguishable from peer death; the timeout handles both
+	c.SendCtrl(transport.Msg{})
+}
+
 // --- sentinel comparison --------------------------------------------
 
 func retryCompareEq(c *transport.Conn, m transport.Msg) error {
@@ -70,6 +98,20 @@ func retryCompareNeq(err error) bool {
 	return err != transport.ErrTransient // want `comparing against transport\.ErrTransient with !=`
 }
 
+func peerDownCompare(err error) bool {
+	return err == transport.ErrPeerDown // want `comparing against transport\.ErrPeerDown with ==`
+}
+
+// peerErr implements the errors.Is protocol; the == inside Is is the
+// sanctioned comparison that makes errors.Is work in the first place.
+type peerErr struct{ rank int }
+
+func (e *peerErr) Error() string { return "peer down" }
+
+func (e *peerErr) Is(target error) bool {
+	return target == transport.ErrPeerDown // ok: errors.Is protocol method
+}
+
 // --- the sanctioned shapes ------------------------------------------
 
 func good(c *transport.Conn, m transport.Msg) error {
@@ -80,6 +122,14 @@ func good(c *transport.Conn, m transport.Msg) error {
 		return err
 	}
 	_, err := c.Recv()
+	return err
+}
+
+func goodPeerDown(c *transport.Conn, m transport.Msg) error {
+	err := c.SendCtrl(m)
+	if errors.Is(err, transport.ErrPeerDown) {
+		return err // dead peer: surface it so the supervisor can fence
+	}
 	return err
 }
 

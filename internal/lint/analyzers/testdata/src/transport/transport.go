@@ -10,6 +10,10 @@ import "errors"
 // ErrTransient marks a link failure the caller should retry.
 var ErrTransient = errors.New("transient transport failure")
 
+// ErrPeerDown marks a peer declared dead by failure detection; it
+// arrives wrapped in a PeerDownError carrying the rank and cause.
+var ErrPeerDown = errors.New("peer down")
+
 // Msg is one framed message.
 type Msg struct {
 	Seq     uint64
@@ -35,6 +39,22 @@ func (c *Conn) Recv() (Msg, error) {
 		return Msg{}, ErrTransient
 	}
 	return Msg{Seq: 1}, nil
+}
+
+// SendCtrl ships a control-plane frame (heartbeat, fence, join).
+func (c *Conn) SendCtrl(m Msg) error {
+	if c.closed {
+		return ErrPeerDown
+	}
+	return nil
+}
+
+// RecvCtrl blocks for the next control-plane frame.
+func (c *Conn) RecvCtrl() (Msg, error) {
+	if c.closed {
+		return Msg{}, ErrPeerDown
+	}
+	return Msg{Seq: 2}, nil
 }
 
 // Close tears the link down.

@@ -661,14 +661,18 @@ func isErrorType(t types.Type) bool {
 }
 
 // IsTransportSendRecv matches the transport error-source contract
-// structurally: a method named Send or Recv declared (on a concrete
-// type or an interface) in a package named "transport", so fixtures
-// with a stand-in package exercise the same rule as the real one.
+// structurally: a method named Send/Recv (data plane) or
+// SendCtrl/RecvCtrl (control plane — heartbeats, fences, joins)
+// declared (on a concrete type or an interface) in a package named
+// "transport", so fixtures with a stand-in package exercise the same
+// rule as the real one.
 func IsTransportSendRecv(fn *types.Func) bool {
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "transport" {
 		return false
 	}
-	if fn.Name() != "Send" && fn.Name() != "Recv" {
+	switch fn.Name() {
+	case "Send", "Recv", "SendCtrl", "RecvCtrl":
+	default:
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)

@@ -167,3 +167,52 @@ func (m ClusterMachine) Predict(w ClusterWorkload, replicas, fanout int) Cluster
 func (m ClusterMachine) ClusterSpeedup(w ClusterWorkload, replicas, fanout int) float64 {
 	return m.Predict(w, replicas, fanout).Speedup
 }
+
+// RecoveryPrediction breaks one elastic fence (internal/dist.RunElastic
+// losing a rank) into its modeled terms, all in microseconds: the pause
+// a failure inserts between the last committed iteration and the first
+// committed iteration of the survivor membership.
+type RecoveryPrediction struct {
+	// DetectUS is the heartbeat silence until the peer is declared dead
+	// (the coordinator's PeerTimeout — policy, not physics, so the
+	// caller supplies it).
+	DetectUS float64
+	// CheckpointUS is the fence checkpoint's write plus the reload into
+	// the re-formed group's solver.
+	CheckpointUS float64
+	// SyncUS is the full weight re-broadcast down the survivor tree
+	// (every level forwards every parameter byte).
+	SyncUS float64
+	// RedoUS is the abandoned iteration re-run at the survivor
+	// membership — the commit rule never folds a partial iteration, so
+	// the work between the fence point and the failure is repeated.
+	RedoUS float64
+	// TotalUS is the whole modeled pause.
+	TotalUS float64
+}
+
+// PredictRecovery models the cost of losing one rank: replicas shrinks
+// to survivors, detection takes detectUS (the configured peer timeout),
+// and the fence checkpoint moves at diskMBps (<= 0 models a page-cached
+// tmpfs at the link bandwidth). The result answers the capacity
+// question ROBUSTNESS.md poses: how many iterations of progress one
+// failure costs, which with Predict gives the break-even failure rate
+// for a checkpoint interval.
+func (m ClusterMachine) PredictRecovery(w ClusterWorkload, survivors, fanout int, detectUS, diskMBps float64) RecoveryPrediction {
+	if survivors < 1 {
+		survivors = 1
+	}
+	if diskMBps <= 0 {
+		diskMBps = m.LinkMBps
+	}
+	paramMB := 4 * float64(w.ParamElems) / 1e6
+	msgs := float64(w.ParamTensors)
+
+	p := RecoveryPrediction{DetectUS: math.Max(detectUS, 0)}
+	p.CheckpointUS = 2 * paramMB / diskMBps * 1e6 // write at the fence, read at the rebuild
+	d := float64(TreeDepth(survivors, fanout))
+	p.SyncUS = d * (msgs*m.LatencyUS + paramMB/m.LinkMBps*1e6)
+	p.RedoUS = m.Predict(w, survivors, fanout).TotalUS
+	p.TotalUS = p.DetectUS + p.CheckpointUS + p.SyncUS + p.RedoUS
+	return p
+}

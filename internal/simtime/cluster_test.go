@@ -117,3 +117,45 @@ func TestPredictTreeBeatsFlatStarAtScale(t *testing.T) {
 		t.Fatalf("degenerate totals: %+v vs %+v", deep, flat)
 	}
 }
+
+func TestPredictRecoveryTermsCompose(t *testing.T) {
+	m := LocalCluster(4)
+	w := lenetLikeWorkload()
+	p := m.PredictRecovery(w, 3, 2, 200_000, 500)
+	if p.DetectUS != 200_000 {
+		t.Fatalf("detect term %v, want the supplied peer timeout", p.DetectUS)
+	}
+	if p.CheckpointUS <= 0 || p.SyncUS <= 0 || p.RedoUS <= 0 {
+		t.Fatalf("non-positive recovery term: %+v", p)
+	}
+	if sum := p.DetectUS + p.CheckpointUS + p.SyncUS + p.RedoUS; p.TotalUS != sum {
+		t.Fatalf("TotalUS %v != sum of terms %v", p.TotalUS, sum)
+	}
+	if p.RedoUS != m.Predict(w, 3, 2).TotalUS {
+		t.Fatalf("redo term %v, want one survivor-membership iteration %v",
+			p.RedoUS, m.Predict(w, 3, 2).TotalUS)
+	}
+}
+
+func TestPredictRecoveryScalesWithModelAndDisk(t *testing.T) {
+	m := LocalCluster(4)
+	small := lenetLikeWorkload()
+	big := small
+	big.ParamElems *= 10
+	if m.PredictRecovery(big, 3, 2, 0, 500).CheckpointUS <=
+		m.PredictRecovery(small, 3, 2, 0, 500).CheckpointUS {
+		t.Fatal("10x parameters did not raise the checkpoint term")
+	}
+	if m.PredictRecovery(small, 3, 2, 0, 50).CheckpointUS <=
+		m.PredictRecovery(small, 3, 2, 0, 500).CheckpointUS {
+		t.Fatal("a 10x slower disk did not raise the checkpoint term")
+	}
+	// diskMBps <= 0 models a page-cached write at link speed.
+	if got := m.PredictRecovery(small, 3, 2, 0, 0).CheckpointUS; got <= 0 {
+		t.Fatalf("default disk term %v", got)
+	}
+	// A solo survivor has no tree to re-sync.
+	if p := m.PredictRecovery(small, 1, 2, 0, 500); p.SyncUS != 0 {
+		t.Fatalf("single survivor pays a sync: %+v", p)
+	}
+}

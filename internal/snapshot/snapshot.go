@@ -455,6 +455,32 @@ func SaveSolverFile(path string, s *solver.Solver) error {
 	return writeFileAtomic(path, func(w io.Writer) error { return SaveSolver(w, s) })
 }
 
+// PeekSolverIter reads just the iteration counter out of a solver
+// snapshot without needing the network it was saved from. The elastic
+// fault-tolerance layer uses it to learn the fence point of a
+// checkpoint before any rank has built (or re-built) its net: the
+// data cursor must be skipped to that iteration for the resumed run
+// to see the same batches a clean run would. The whole file is still
+// parsed and checksum-validated, so a torn or corrupt snapshot is
+// rejected here rather than half-adopted later.
+func PeekSolverIter(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	secs, err := readSections(f)
+	if err != nil {
+		return 0, err
+	}
+	for _, sec := range secs {
+		if sec.name == iterSection && len(sec.data) == 1 {
+			return int(sec.data[0]), nil
+		}
+	}
+	return 0, fmt.Errorf("snapshot: %s is not a solver snapshot (no iteration section)", path)
+}
+
 // LoadSolverFile restores solver state from a file written by
 // SaveSolverFile.
 func LoadSolverFile(path string, s *solver.Solver) error {

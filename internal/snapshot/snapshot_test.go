@@ -193,6 +193,42 @@ func TestSolverFileRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPeekSolverIterReadsWithoutASolver(t *testing.T) {
+	// PeekSolverIter is what a resuming rank calls before it has built
+	// anything: the iteration decides the data-cursor skip and the
+	// StartIter of the whole group, so it must be readable from the
+	// file alone.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "solver.cgdnn")
+	n := buildNet(t, 8)
+	s, err := solver.New(zoo.LeNetSolver(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(5)
+	if err := SaveSolverFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	it, err := PeekSolverIter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it != 5 {
+		t.Fatalf("peeked iteration %d, want 5", it)
+	}
+
+	netPath := filepath.Join(dir, "net.cgdnn")
+	if err := SaveNetFile(netPath, n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekSolverIter(netPath); err == nil {
+		t.Fatal("peek accepted a net-only snapshot")
+	}
+	if _, err := PeekSolverIter(filepath.Join(dir, "missing.cgdnn")); err == nil {
+		t.Fatal("peek accepted a missing file")
+	}
+}
+
 func TestLoadSolverRejectsNetSnapshot(t *testing.T) {
 	n := buildNet(t, 10)
 	var buf bytes.Buffer

@@ -8,12 +8,12 @@ import "testing"
 
 func TestPhaseNamesCoverEveryPhase(t *testing.T) {
 	names := PhaseNames()
-	if len(names) != int(PhaseComm)+1 {
+	if len(names) != int(PhaseRecover)+1 {
 		t.Fatalf("PhaseNames has %d entries, want %d (one per Phase constant)",
-			len(names), int(PhaseComm)+1)
+			len(names), int(PhaseRecover)+1)
 	}
 	seen := map[string]bool{}
-	for p := PhaseForward; p <= PhaseComm; p++ {
+	for p := PhaseForward; p <= PhaseRecover; p++ {
 		s := p.String()
 		if s == "" {
 			t.Fatalf("Phase(%d).String() is empty", p)

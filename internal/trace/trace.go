@@ -74,6 +74,13 @@ const (
 	// Band, so the comm/compute overlap (DISTRIBUTED.md) is visible on
 	// the timeline next to the backward spans it hides behind.
 	PhaseComm
+	// PhaseRecover is a fault-recovery interval (internal/dist's elastic
+	// layer): fencing the cluster at a checkpoint, re-forming the
+	// reduction tree over the survivors, or re-broadcasting weights to a
+	// re-formed membership. Spans carry the fence iteration in Lo and the
+	// new membership size in Hi, so the cost of surviving a failure is
+	// visible on the timeline next to the iterations it interrupted.
+	PhaseRecover
 )
 
 // phaseNames is the single source of truth for the phase vocabulary,
@@ -92,6 +99,7 @@ var phaseNames = [...]string{
 	PhaseGuard:     "guard",
 	PhaseServe:     "serve",
 	PhaseComm:      "comm",
+	PhaseRecover:   "recover",
 }
 
 // PhaseNames returns the canonical phase vocabulary in Phase order.
@@ -142,6 +150,8 @@ func (p Phase) short() string {
 		return "srv"
 	case PhaseComm:
 		return "comm"
+	case PhaseRecover:
+		return "rcv"
 	default:
 		return "region"
 	}

@@ -110,5 +110,23 @@ func (f *Flaky) Recv(from int, tag Tag, buf []float32) error {
 	return f.inner.Recv(from, tag, buf)
 }
 
+// SendCtrl implements Transport. Control frames pass through unfaulted:
+// the fault model targets the lock-step data plane, and the elastic
+// fencing protocol already tolerates shed control frames by re-sending.
+func (f *Flaky) SendCtrl(to int, tag Tag, payload []float32) error {
+	return f.inner.SendCtrl(to, tag, payload)
+}
+
+// RecvCtrl implements Transport.
+func (f *Flaky) RecvCtrl(from int, timeout time.Duration) (Tag, []float32, error) {
+	return f.inner.RecvCtrl(from, timeout)
+}
+
+// Interrupt implements Transport.
+func (f *Flaky) Interrupt(err error) { f.inner.Interrupt(err) }
+
+// Resume implements Transport.
+func (f *Flaky) Resume() { f.inner.Resume() }
+
 // Close implements Transport.
 func (f *Flaky) Close() error { return f.inner.Close() }

@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	gonet "net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The TCP wire protocol, v1 (DISTRIBUTED.md):
@@ -40,6 +42,19 @@ const maxFrameElems = 1 << 26
 
 // maxCtrlLen bounds a control message's declared length.
 const maxCtrlLen = 1 << 20
+
+// defaultRendezvousTimeout bounds how long a rendezvous read (the
+// coordinator waiting for a JOIN, a worker waiting for a mesh HELLO)
+// may block on one peer. A worker that connects and then dies or stalls
+// mid-handshake fails the rendezvous loudly — with the peer's address —
+// instead of wedging the group forever.
+const defaultRendezvousTimeout = 30 * time.Second
+
+// closeDrainTimeout bounds how long Close waits for a link's outbound
+// queue to drain. A peer that stopped reading (dead process, full
+// kernel buffers) would otherwise hang Close; after the bound the
+// remaining frames are abandoned and the socket is torn down.
+const closeDrainTimeout = 5 * time.Second
 
 // ctrlMsg is the JSON rendezvous message.
 type ctrlMsg struct {
@@ -178,13 +193,29 @@ func (w *tcpWriter) fail(err error) {
 
 // closeFlush marks the writer closed and waits until the loop has
 // drained the queue (or failed), so Close never cuts off in-flight
-// frames.
-func (w *tcpWriter) closeFlush() {
+// frames — but only up to limit: a peer that stopped reading would
+// otherwise park Close forever behind full kernel buffers. On timeout
+// the remaining frames are abandoned (the caller tears the socket down
+// next, which unblocks the loop goroutine's pending write).
+func (w *tcpWriter) closeFlush(limit time.Duration) {
 	w.mu.Lock()
 	w.closed = true
 	w.cond.Broadcast()
-	for len(w.queue) > 0 && w.err == nil {
+	wake := time.AfterFunc(limit, func() {
+		w.mu.Lock()
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	})
+	deadline := time.Now().Add(limit)
+	for len(w.queue) > 0 && w.err == nil && time.Now().Before(deadline) {
 		w.cond.Wait()
+	}
+	wake.Stop()
+	if len(w.queue) > 0 && w.err == nil {
+		w.err = fmt.Errorf("transport: close abandoned %d undrained frames after %v: %w",
+			len(w.queue), limit, ErrClosed)
+		w.queue = nil
+		w.cond.Broadcast()
 	}
 	w.mu.Unlock()
 }
@@ -200,6 +231,8 @@ type TCP struct {
 	conns      []gonet.Conn // conns[peer]; nil at own rank
 	writers    []*tcpWriter
 	inboxes    []*inbox
+	ctrls      []*ctrlQueue
+	done       chan struct{}
 	closed     atomic.Bool
 	readers    sync.WaitGroup
 }
@@ -210,13 +243,15 @@ var _ Transport = (*TCP)(nil)
 // nil and every other entry a live connection.
 func newTCP(rank int, conns []gonet.Conn) *TCP {
 	t := &TCP{rank: rank, size: len(conns), conns: conns,
-		writers: make([]*tcpWriter, len(conns)), inboxes: make([]*inbox, len(conns))}
+		writers: make([]*tcpWriter, len(conns)), inboxes: make([]*inbox, len(conns)),
+		ctrls: make([]*ctrlQueue, len(conns)), done: make(chan struct{})}
 	for peer, conn := range conns {
 		if conn == nil {
 			continue
 		}
 		t.writers[peer] = newTCPWriter()
 		t.inboxes[peer] = newInbox()
+		t.ctrls[peer] = newCtrlQueue()
 		//dnnlint:ignore gorolife joined by the closeFlush cond handshake: Close drains the queue and loop exits on the closed flag
 		go t.writers[peer].loop(conn)
 		t.readers.Add(1)
@@ -252,18 +287,26 @@ func (t *TCP) readLoop(peer int, conn gonet.Conn) {
 		for i := range payload {
 			payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
 		}
+		// Control frames ride the same socket (preserving one wire format)
+		// but land in the out-of-band queue so a blocked data Recv cannot
+		// starve a heartbeat or fence.
+		if tag.Kind().Ctrl() {
+			t.ctrls[peer].offer(frame{tag: tag, payload: payload})
+			continue
+		}
 		t.inboxes[peer].push(frame{tag: tag, payload: payload})
 	}
 }
 
 // linkDown ends a link: a close-time EOF just closes the inbox, an
-// unexpected failure poisons it so pending Recvs fail loudly.
+// unexpected failure poisons it with *PeerDownError so pending Recvs
+// fail loudly and the elastic supervisor can attribute the death.
 func (t *TCP) linkDown(peer int, err error) {
 	if t.closed.Load() {
 		t.inboxes[peer].close()
 		return
 	}
-	t.inboxes[peer].fail(fmt.Errorf("transport: link to rank %d: %w", peer, err))
+	t.inboxes[peer].fail(&PeerDownError{Rank: peer, Cause: fmt.Errorf("link read: %w", err)})
 }
 
 // Rank implements Transport.
@@ -273,7 +316,8 @@ func (t *TCP) Rank() int { return t.rank }
 func (t *TCP) Size() int { return t.size }
 
 // Send implements Transport: it serializes the frame and enqueues it on
-// the link's writer without waiting for the socket.
+// the link's writer without waiting for the socket. A link whose writer
+// has failed reports *PeerDownError naming the peer.
 func (t *TCP) Send(to int, tag Tag, payload []float32) error {
 	if t.closed.Load() {
 		return ErrClosed
@@ -281,7 +325,13 @@ func (t *TCP) Send(to int, tag Tag, payload []float32) error {
 	if to < 0 || to >= t.size || to == t.rank {
 		return &PeerError{Op: "send", Rank: t.rank, Peer: to, Size: t.size}
 	}
-	return t.writers[to].enqueue(encodeFrame(tag, payload))
+	if err := t.writers[to].enqueue(encodeFrame(tag, payload)); err != nil {
+		if errors.Is(err, ErrClosed) || errors.Is(err, ErrPeerDown) {
+			return err
+		}
+		return &PeerDownError{Rank: to, Cause: err}
+	}
+	return nil
 }
 
 // Recv implements Transport.
@@ -292,15 +342,49 @@ func (t *TCP) Recv(from int, tag Tag, buf []float32) error {
 	return t.inboxes[from].recv(from, tag, buf)
 }
 
-// Close implements Transport: it flushes every outbound queue, then
+// SendCtrl implements Transport: control frames use the same socket and
+// wire format as data, differing only in where the receiver routes them.
+func (t *TCP) SendCtrl(to int, tag Tag, payload []float32) error {
+	return t.Send(to, tag, payload)
+}
+
+// RecvCtrl implements Transport.
+func (t *TCP) RecvCtrl(from int, timeout time.Duration) (Tag, []float32, error) {
+	if from < 0 || from >= t.size || from == t.rank {
+		return 0, nil, &PeerError{Op: "recv-ctrl", Rank: t.rank, Peer: from, Size: t.size}
+	}
+	return t.ctrls[from].take(timeout, t.done)
+}
+
+// Interrupt implements Transport.
+func (t *TCP) Interrupt(err error) {
+	for _, ib := range t.inboxes {
+		if ib != nil {
+			ib.interrupt(err)
+		}
+	}
+}
+
+// Resume implements Transport.
+func (t *TCP) Resume() {
+	for _, ib := range t.inboxes {
+		if ib != nil {
+			ib.resume()
+		}
+	}
+}
+
+// Close implements Transport: it flushes every outbound queue (bounded
+// — a dead peer cannot park Close behind full kernel buffers), then
 // tears the mesh down and waits for the readers to exit.
 func (t *TCP) Close() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
+	close(t.done)
 	for _, w := range t.writers {
 		if w != nil {
-			w.closeFlush()
+			w.closeFlush(closeDrainTimeout)
 		}
 	}
 	for _, c := range t.conns {
@@ -318,6 +402,11 @@ func (t *TCP) Close() error {
 type Coordinator struct {
 	ln   gonet.Listener
 	size int
+	// JoinTimeout bounds how long Wait blocks on one accepted connection
+	// for its JOIN message (zero means defaultRendezvousTimeout). A
+	// worker that connects and then dies or stalls mid-handshake fails
+	// the rendezvous with its address instead of wedging it.
+	JoinTimeout time.Duration
 }
 
 // NewCoordinator starts listening for a group of size ranks on addr
@@ -356,16 +445,25 @@ func (c *Coordinator) Wait() (*TCP, error) {
 		}
 		return nil, err
 	}
+	joinTimeout := c.JoinTimeout
+	if joinTimeout <= 0 {
+		joinTimeout = defaultRendezvousTimeout
+	}
 	for r := 1; r < c.size; r++ {
 		conn, err := c.ln.Accept()
 		if err != nil {
 			return fail(err)
 		}
+		// Deadline the handshake read: a joiner that dies or stalls
+		// mid-JOIN must fail this rendezvous loudly, not wedge it.
+		conn.SetReadDeadline(time.Now().Add(joinTimeout))
 		join, err := readCtrl(conn, "join")
 		if err != nil {
+			addr := conn.RemoteAddr()
 			conn.Close()
-			return fail(fmt.Errorf("transport: join from %v: %w", conn.RemoteAddr(), err))
+			return fail(fmt.Errorf("transport: join from %v: %w", addr, err))
 		}
+		conn.SetReadDeadline(time.Time{})
 		conns[r] = conn
 		addrs[r] = join.Addr
 	}
@@ -442,14 +540,20 @@ func DialTCP(coordAddr string) (*TCP, error) {
 		if err != nil {
 			return fail(err)
 		}
+		// Deadline the HELLO like the coordinator deadlines JOINs: a mesh
+		// peer that connects and stalls must not wedge this worker.
+		conn.SetReadDeadline(time.Now().Add(defaultRendezvousTimeout))
 		hello, err := readCtrl(conn, "hello")
 		if err != nil {
+			addr := conn.RemoteAddr()
 			conn.Close()
-			return fail(fmt.Errorf("transport: hello from %v: %w", conn.RemoteAddr(), err))
+			return fail(fmt.Errorf("transport: hello from %v: %w", addr, err))
 		}
+		conn.SetReadDeadline(time.Time{})
 		if hello.Rank <= rank || hello.Rank >= size || conns[hello.Rank] != nil {
+			addr := conn.RemoteAddr()
 			conn.Close()
-			return fail(fmt.Errorf("transport: unexpected hello from rank %d", hello.Rank))
+			return fail(fmt.Errorf("transport: unexpected hello claiming rank %d from %v", hello.Rank, addr))
 		}
 		conns[hello.Rank] = conn
 	}

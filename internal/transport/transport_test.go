@@ -11,20 +11,40 @@ import (
 func TestTagRoundTrip(t *testing.T) {
 	cases := []struct {
 		kind   Kind
+		epoch  int
 		iter   int
 		param  int
 		origin int
 	}{
-		{KindGrad, 0, 0, 0},
-		{KindGather, 7, 3, 2},
-		{KindBcast, 199, 13, 63},
-		{KindLoss, 1<<32 - 1, 1<<14 - 1, 1<<16 - 1},
+		{KindGrad, 0, 0, 0, 0},
+		{KindGather, 0, 7, 3, 2},
+		{KindBcast, 3, 199, 13, 63},
+		{KindSync, 17, 4096, 9, 5},
+		{KindFence, MaxEpoch, 12, 0, 0},
+		{KindAck, MaxEpoch, MaxIter, 1<<14 - 1, 1<<16 - 1},
 	}
 	for _, c := range cases {
-		tag := MakeTag(c.kind, c.iter, c.param, c.origin)
-		if tag.Kind() != c.kind || tag.Iter() != c.iter || tag.Param() != c.param || tag.Origin() != c.origin {
-			t.Errorf("MakeTag(%v,%d,%d,%d) round-tripped to (%v,%d,%d,%d)",
-				c.kind, c.iter, c.param, c.origin, tag.Kind(), tag.Iter(), tag.Param(), tag.Origin())
+		tag := MakeTagE(c.kind, c.epoch, c.iter, c.param, c.origin)
+		if tag.Kind() != c.kind || tag.Epoch() != c.epoch || tag.Iter() != c.iter ||
+			tag.Param() != c.param || tag.Origin() != c.origin {
+			t.Errorf("MakeTagE(%v,%d,%d,%d,%d) round-tripped to (%v,%d,%d,%d,%d)",
+				c.kind, c.epoch, c.iter, c.param, c.origin,
+				tag.Kind(), tag.Epoch(), tag.Iter(), tag.Param(), tag.Origin())
+		}
+	}
+	// MakeTag is the epoch-0 shorthand.
+	if MakeTag(KindGrad, 5, 2, 1) != MakeTagE(KindGrad, 0, 5, 2, 1) {
+		t.Error("MakeTag is not MakeTagE with epoch 0")
+	}
+}
+
+func TestKindCtrlClassification(t *testing.T) {
+	for k, want := range map[Kind]bool{
+		KindGrad: false, KindGather: false, KindBcast: false, KindLoss: false, KindSync: false,
+		KindPing: true, KindPong: true, KindFence: true, KindJoin: true, KindAck: true,
+	} {
+		if k.Ctrl() != want {
+			t.Errorf("%v.Ctrl() = %v, want %v", k, k.Ctrl(), want)
 		}
 	}
 }
@@ -37,6 +57,7 @@ func TestTagDistinct(t *testing.T) {
 		MakeTag(KindGrad, 6, 2, 1),
 		MakeTag(KindGrad, 5, 3, 1),
 		MakeTag(KindGrad, 5, 2, 2),
+		MakeTagE(KindGrad, 1, 5, 2, 1),
 	} {
 		if other == base {
 			t.Errorf("tag %v collides with %v", other, base)
@@ -46,9 +67,12 @@ func TestTagDistinct(t *testing.T) {
 
 func TestMakeTagPanicsOutOfRange(t *testing.T) {
 	for name, fn := range map[string]func(){
-		"iter":   func() { MakeTag(KindGrad, -1, 0, 0) },
-		"param":  func() { MakeTag(KindGrad, 0, 1<<14, 0) },
-		"origin": func() { MakeTag(KindGrad, 0, 0, 1<<16) },
+		"iter":      func() { MakeTag(KindGrad, -1, 0, 0) },
+		"iter-high": func() { MakeTag(KindGrad, MaxIter+1, 0, 0) },
+		"param":     func() { MakeTag(KindGrad, 0, 1<<14, 0) },
+		"origin":    func() { MakeTag(KindGrad, 0, 0, 1<<16) },
+		"epoch":     func() { MakeTagE(KindGrad, MaxEpoch+1, 0, 0, 0) },
+		"kind":      func() { MakeTagE(KindAck+1, 0, 0, 0, 0) },
 	} {
 		func() {
 			defer func() {

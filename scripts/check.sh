@@ -15,7 +15,10 @@
 # random port answering a dnnload probe and draining cleanly on SIGTERM,
 # and a distributed smoke (DISTRIBUTED.md): a coordinator + 2 workers
 # over loopback TCP whose final snapshot must be bit-identical to the
-# single-process run. Run from anywhere inside the repo.
+# single-process run, plus an elastic smoke that crashes 1 of 3 ranks
+# mid-run and requires the survivors' final snapshot to be bit-identical
+# to a clean 2-rank resume from the fence checkpoint. Run from anywhere
+# inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -149,5 +152,27 @@ local_crc="$(cksum <"$tmpdir/local.cgdnn")"
 [ "$tcp_crc" = "$local_crc" ] ||
 	{ echo "FAIL: TCP snapshot CRC ($tcp_crc) != local snapshot CRC ($local_crc)" >&2; exit 1; }
 echo "TCP and in-process snapshots bit-identical (cksum $tcp_crc), as required"
+
+echo "== elastic smoke: kill 1 of 3 ranks, recover bit-identical to a clean 2-rank resume =="
+# ROBUSTNESS.md's cluster contract: crash a worker mid-run under the
+# elastic supervisor, let the survivors fence and continue, and the
+# final snapshot must be byte-for-byte what a fresh 2-rank run resumed
+# from the fence checkpoint produces.
+"$tmpdir/dnncluster" -role local -elastic -replicas 3 -batch 48 -samples 48 -iters 6 \
+	-zoo lenet -display 6 -chaos-mode crash -chaos-rank 2 -chaos-iter 2 \
+	-fence-dir "$tmpdir/fences" -snapshot "$tmpdir/elastic.cgdnn" >"$tmpdir/elastic.log" 2>&1 ||
+	{ echo "FAIL: elastic run exited nonzero" >&2; cat "$tmpdir/elastic.log" >&2; exit 1; }
+grep -q "fence: epoch 1 at iteration 2" "$tmpdir/elastic.log" ||
+	{ echo "FAIL: expected fence at iteration 2 missing" >&2; cat "$tmpdir/elastic.log" >&2; exit 1; }
+[ -f "$tmpdir/fences/ckpt-00000002.cgdnn" ] ||
+	{ echo "FAIL: fence checkpoint not written" >&2; exit 1; }
+"$tmpdir/dnncluster" -role local -replicas 2 -batch 48 -samples 48 -iters 6 -zoo lenet \
+	-display 6 -resume "$tmpdir/fences/ckpt-00000002.cgdnn" \
+	-snapshot "$tmpdir/elastic-ref.cgdnn" >/dev/null
+elastic_crc="$(cksum <"$tmpdir/elastic.cgdnn")"
+ref_crc="$(cksum <"$tmpdir/elastic-ref.cgdnn")"
+[ "$elastic_crc" = "$ref_crc" ] ||
+	{ echo "FAIL: post-crash snapshot CRC ($elastic_crc) != clean-resume CRC ($ref_crc)" >&2; exit 1; }
+echo "crash-recovery snapshot bit-identical to clean 2-rank resume (cksum $elastic_crc), as required"
 
 echo "OK"
