@@ -11,6 +11,7 @@
 //	dnnbench -figure mem      # §3.2.1 privatization memory
 //	dnnbench -figure conv     # convergence invariance
 //	dnnbench -figure ablation # reduction & coalescing ablations
+//	dnnbench -figure comm     # gradient exchange: topology x wire bytes/step
 //	dnnbench -figure all      # everything
 //
 // Serial per-layer costs are measured on this host; multi-thread numbers
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to reproduce: 4-9, gemm, mem, conv, ablation, engines, all")
+		figure  = flag.String("figure", "all", "figure to reproduce: 4-9, gemm, mem, conv, ablation, engines, comm, all")
 		netName = flag.String("net", "", "override benchmark network (mnist|cifar)")
 		batch   = flag.Int("batch", 0, "override batch size (default: paper's 64/100)")
 		samples = flag.Int("samples", 0, "synthetic dataset size (default 4*batch)")
@@ -163,6 +164,13 @@ func main() {
 			}
 			fmt.Println("### Ablations ###")
 			res.Render(os.Stdout)
+		case "comm":
+			res, err := bench.Comm(baseOpt("mnist"))
+			if err != nil {
+				return err
+			}
+			fmt.Println("### Gradient exchange: bytes on wire ###")
+			res.Render(os.Stdout)
 		case "engines":
 			res, err := bench.EngineComparison(baseOpt("mnist"))
 			if err != nil {
@@ -179,7 +187,7 @@ func main() {
 
 	figs := []string{*figure}
 	if *figure == "all" {
-		figs = []string{"4", "5", "6", "7", "8", "9", "gemm", "mem", "conv", "ablation", "engines"}
+		figs = []string{"4", "5", "6", "7", "8", "9", "gemm", "mem", "conv", "ablation", "engines", "comm"}
 	}
 	for _, f := range figs {
 		if err := run(f); err != nil {

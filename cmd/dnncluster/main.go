@@ -56,6 +56,8 @@ type config struct {
 	role     string
 	replicas int
 	fanout   int
+	reduce   string
+	gradWire string
 	iters    int
 	display  int
 
@@ -104,6 +106,8 @@ func main() {
 	flag.StringVar(&c.role, "role", "local", "local | coordinator | worker")
 	flag.IntVar(&c.replicas, "replicas", 2, "total rank count (local and coordinator roles)")
 	flag.IntVar(&c.fanout, "fanout", 2, "reduction tree fan-out")
+	flag.StringVar(&c.reduce, "reduce", "tree", "gradient exchange topology: tree | ring")
+	flag.StringVar(&c.gradWire, "grad-wire", "f32", "gradient wire format: f32 | f16 | int8 (lossy formats use error feedback)")
 	flag.IntVar(&c.iters, "iters", 100, "training iterations")
 	flag.IntVar(&c.display, "display", 20, "print loss every N iterations (root only)")
 	flag.StringVar(&c.model, "model", "", "network prototxt file")
@@ -263,7 +267,12 @@ func (c config) buildRankNet(src layers.Source, r, k int) (*net.Net, core.Engine
 }
 
 func (c config) distOptions() dist.Options {
-	return dist.Options{Fanout: c.fanout, NoOverlap: c.noOverlap}
+	return dist.Options{
+		Fanout:    c.fanout,
+		NoOverlap: c.noOverlap,
+		Topology:  c.reduce,
+		GradWire:  c.gradWire,
+	}
 }
 
 // wrapFlaky injects the seeded fault layer when any -flaky-* probability
@@ -526,8 +535,8 @@ func runRank(c config, t transport.Transport, n *net.Net) error {
 		}
 	}
 	if t.Rank() == 0 {
-		fmt.Printf("training %d iterations: %d replicas, fanout %d, tree depth %d\n",
-			c.iters-startIter, nd.Size(), nd.Tree().Fanout(), nd.Tree().Depth())
+		fmt.Printf("training %d iterations: %d replicas, %s reduce, %s wire, fanout %d, tree depth %d\n",
+			c.iters-startIter, nd.Size(), c.reduce, c.gradWire, nd.Tree().Fanout(), nd.Tree().Depth())
 	}
 	remaining := c.iters - startIter
 	for remaining > 0 {
@@ -757,24 +766,44 @@ func runPredict(c config) error {
 	m := simtime.LocalCluster(runtime.NumCPU())
 	fmt.Printf("calibration: %.1f ms/iter serial, %d param elems in %d tensors, %d cores\n",
 		float64(serialPer.Microseconds())/1e3, w.ParamElems, w.ParamTensors, runtime.NumCPU())
-	fmt.Printf("%-9s %-8s %-12s %-12s %-12s %-10s\n",
-		"replicas", "fanout", "pred-ms/it", "meas-ms/it", "pred-spdup", "meas-spdup")
-	fmt.Printf("%-9d %-8s %-12.2f %-12.2f %-12.2f %-10.2f\n",
-		1, "-", float64(serialPer.Microseconds())/1e3, float64(serialPer.Microseconds())/1e3, 1.0, 1.0)
+	fmt.Printf("%-9s %-8s %-6s %-6s %-12s %-12s %-12s %-10s\n",
+		"replicas", "reduce", "wire", "fanout", "pred-ms/it", "meas-ms/it", "pred-spdup", "meas-spdup")
+	fmt.Printf("%-9d %-8s %-6s %-6s %-12.2f %-12.2f %-12.2f %-10.2f\n",
+		1, "-", "-", "-", float64(serialPer.Microseconds())/1e3, float64(serialPer.Microseconds())/1e3, 1.0, 1.0)
 
+	// The design space the model covers: the tree baseline, the relay
+	// ring at f32 (pricing the determinism relays), and the compressed
+	// ring (the codec buying the relay bytes back). wireScale comes from
+	// the codec's own WireLen so the model can never drift from the
+	// implementation's framing.
+	combos := []struct{ topo, wire string }{
+		{dist.TopologyTree, "f32"},
+		{dist.TopologyRing, "f32"},
+		{dist.TopologyRing, "int8"},
+	}
 	for _, k := range []int{2, 4} {
 		if c.globalBatch()%k != 0 {
 			fmt.Printf("%-9d skipped: global batch %d not divisible\n", k, c.globalBatch())
 			continue
 		}
-		pred := m.Predict(w, k, c.fanout)
-		measured, err := timeLocalRun(c, src, k, calIters)
-		if err != nil {
-			return err
+		for _, combo := range combos {
+			codec, err := transport.CodecByName(combo.wire)
+			if err != nil {
+				return err
+			}
+			scale := float64(codec.WireLen(w.ParamElems)) / float64(w.ParamElems)
+			pred := m.PredictEx(w, k, c.fanout, combo.topo, scale)
+			cc := c
+			cc.reduce, cc.gradWire = combo.topo, combo.wire
+			measured, err := timeLocalRun(cc, src, k, calIters)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-9d %-8s %-6s %-6d %-12.2f %-12.2f %-12.2f %-10.2f\n",
+				k, combo.topo, combo.wire, c.fanout, pred.TotalUS/1e3,
+				float64(measured.Microseconds())/float64(calIters)/1e3,
+				pred.Speedup, float64(serialPer)/(float64(measured)/float64(calIters)))
 		}
-		fmt.Printf("%-9d %-8d %-12.2f %-12.2f %-12.2f %-10.2f\n",
-			k, c.fanout, pred.TotalUS/1e3, float64(measured.Microseconds())/float64(calIters)/1e3,
-			pred.Speedup, float64(serialPer)/(float64(measured)/float64(calIters)))
 	}
 	return nil
 }

@@ -408,3 +408,40 @@ func TestGemmKernelsReportsEveryShape(t *testing.T) {
 		}
 	}
 }
+
+func TestCommFigureShape(t *testing.T) {
+	o := Options{Net: "mnist", Batch: 8, Samples: 16, Iterations: 2, Warmup: 1, Seed: 1}
+	res, err := Comm(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("want 6 topology x wire rows, got %d", len(res.Rows))
+	}
+	byKey := map[string]CommRow{}
+	for _, r := range res.Rows {
+		if r.GradBytesPerIter <= 0 || r.StepUS <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		byKey[r.Topology+"/"+r.Wire] = r
+	}
+	for _, topo := range []string{"tree", "ring"} {
+		f32 := byKey[topo+"/f32"]
+		int8 := byKey[topo+"/int8"]
+		if ratio := float64(f32.GradBytesPerIter) / float64(int8.GradBytesPerIter); ratio < 3.5 {
+			t.Errorf("%s: int8 reduction %.2fx < 3.5x", topo, ratio)
+		}
+	}
+	// The relay ring's determinism price: more gradient bytes than the
+	// tree at the same wire format (k/2 vs (k-1)/k of the gradient per
+	// link at k=4).
+	if byKey["ring/f32"].GradBytesPerIter <= byKey["tree/f32"].GradBytesPerIter {
+		t.Errorf("ring f32 bytes %d not above tree f32 %d",
+			byKey["ring/f32"].GradBytesPerIter, byKey["tree/f32"].GradBytesPerIter)
+	}
+	var buf strings.Builder
+	res.Render(&buf)
+	if out := buf.String(); !strings.Contains(out, "ring") || !strings.Contains(out, "int8") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+}

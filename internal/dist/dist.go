@@ -94,6 +94,22 @@ func DefaultRetry() RetryConfig {
 	return RetryConfig{MaxAttempts: 16, BaseBackoff: 20 * time.Microsecond, MaxBackoff: 2 * time.Millisecond}
 }
 
+// Gradient-exchange topologies (Options.Topology).
+const (
+	// TopologyTree routes gradient contributions point-to-point to their
+	// slice owners and moves reduced slices through the heap-numbered
+	// reduction tree — the default, lowest-latency shape.
+	TopologyTree = "tree"
+	// TopologyRing relays gradient contributions hop-by-hop around a
+	// ring (reduce-scatter), then circulates the reduced chunks the same
+	// way (all-gather): every rank talks only to its two neighbors, the
+	// shape FireCaffe-style bandwidth-bound clusters want. The f32 ring
+	// is bit-identical to the tree because the fold at each chunk owner
+	// is the same rank-ordered fold — the ring changes who carries the
+	// bytes, never the arithmetic (DISTRIBUTED.md §9).
+	TopologyRing = "ring"
+)
+
 // Options configures a Node.
 type Options struct {
 	// Fanout is the reduction tree's fan-out (default 2).
@@ -114,6 +130,18 @@ type Options struct {
 	// built with StartIter F so its tags, and therefore its protocol
 	// state, match a clean run resumed there.
 	StartIter int
+	// Topology selects the gradient-exchange route: TopologyTree
+	// (default) or TopologyRing. Every rank of a group must agree, like
+	// Fanout.
+	Topology string
+	// GradWire names the gradient wire format: "f32" (default,
+	// identity), "f16" (packed binary16) or "int8" (grouped max-abs
+	// quantization) — see transport.CodecByName. Lossy formats carry a
+	// per-rank error-feedback residual so the quantization error feeds
+	// back into the next iteration's gradient instead of accumulating as
+	// bias. Only gradient contributions are encoded; reduced slices,
+	// losses and weights always cross the wire as raw f32.
+	GradWire string
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +156,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Retry.MaxBackoff < o.Retry.BaseBackoff {
 		o.Retry.MaxBackoff = o.Retry.BaseBackoff
+	}
+	if o.Topology == "" {
+		o.Topology = TopologyTree
 	}
 	return o
 }
@@ -171,6 +202,34 @@ type Node struct {
 	accBuf  []float32
 	recvBuf []float32
 	hookErr error
+
+	// codec is the gradient wire format, nil for f32: the identity
+	// format takes the pre-codec fast path so the default configuration
+	// stays bit-for-bit and allocation-for-allocation what it always
+	// was. When set, corrBuf/decBuf/wireBuf/wireRecvBuf are the
+	// preallocated encode/decode scratch and residual holds the
+	// error-feedback state: residual[pi][i] is the quantization error of
+	// parameter pi's element i from the last time it was encoded, added
+	// back into the gradient before the next encode. Residuals start at
+	// zero and reset whenever a Node is rebuilt (resume, fence, rejoin)
+	// — exactly the state a clean run resumed at that iteration would
+	// have, which keeps elastic recovery bit-identical under lossy
+	// codecs too.
+	codec       transport.Codec
+	residual    [][]float32
+	corrBuf     []float32
+	decBuf      []float32
+	wireBuf     []float32
+	wireRecvBuf []float32
+
+	// Ring-topology state: the two neighbors, and stage[pi] — the
+	// decoded peer contributions to this rank's slice of parameter pi,
+	// one slot per origin rank, held until the whole relay stream has
+	// been consumed so the fold can run in ascending rank order
+	// regardless of arrival order (the OrderedSlices discipline).
+	ringNext int
+	ringPrev int
+	stage    [][]float32
 }
 
 // NewRoot creates the coordinator node (transport rank 0): it owns the
@@ -242,8 +301,60 @@ func newNode(t transport.Transport, n *net.Net, s *solver.Solver, opts Options) 
 	}
 	nd.accBuf = make([]float32, maxChunk)
 	nd.recvBuf = make([]float32, maxChunk)
+
+	switch opts.Topology {
+	case TopologyTree:
+	case TopologyRing:
+		// KindRing tags pack origin<<8|owner into the 16-bit origin
+		// field, so a relayed frame stays distinguishable from the
+		// relaying rank's own contributions on the same link.
+		if size > 256 {
+			return nil, fmt.Errorf("dist: ring topology supports at most 256 ranks, got %d", size)
+		}
+	default:
+		return nil, fmt.Errorf("dist: unknown topology %q (want %q or %q)", opts.Topology, TopologyTree, TopologyRing)
+	}
+	codec, err := transport.CodecByName(opts.GradWire)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	if _, identity := codec.(transport.F32Codec); !identity {
+		nd.codec = codec
+		nd.residual = make([][]float32, len(params))
+		for pi, p := range params {
+			nd.residual[pi] = make([]float32, p.Count())
+		}
+		nd.corrBuf = make([]float32, maxChunk)
+		nd.decBuf = make([]float32, maxChunk)
+		nd.wireBuf = make([]float32, codec.WireLen(maxChunk))
+		nd.wireRecvBuf = make([]float32, codec.WireLen(maxChunk))
+	}
+	if opts.Topology == TopologyRing && size > 1 {
+		nd.ringNext = (nd.rank + 1) % size
+		nd.ringPrev = (nd.rank - 1 + size) % size
+		if nd.wireRecvBuf == nil {
+			nd.wireRecvBuf = make([]float32, maxChunk) // f32 ring relays raw chunks
+		}
+		nd.stage = make([][]float32, len(params))
+		for pi, p := range params {
+			if lo, hi := par.Chunk(p.Count(), size, nd.rank); hi > lo {
+				nd.stage[pi] = make([]float32, size*(hi-lo))
+			}
+		}
+	}
 	return nd, nil
 }
+
+// stageFor returns the staging slot for origin's contribution to this
+// rank's slice of parameter pi.
+func (nd *Node) stageFor(pi, origin int) []float32 {
+	n := len(nd.stage[pi]) / nd.size
+	return nd.stage[pi][origin*n : (origin+1)*n]
+}
+
+// ringOrigin packs a ring frame's (origin, owner) pair into the tag's
+// 16-bit origin field.
+func ringOrigin(origin, owner int) int { return origin<<8 | owner }
 
 // Rank returns this node's rank.
 func (nd *Node) Rank() int { return nd.rank }
@@ -352,8 +463,24 @@ func (nd *Node) step() (float64, error) {
 		}
 	}
 
+	// Reduce: own every slice this rank is responsible for. The ring
+	// path first drains the relay stream (staging what it owns,
+	// forwarding the rest); both paths end in the same rank-ordered
+	// fold.
+	if nd.opts.Topology == TopologyRing {
+		if err := nd.ringConsume(); err != nil {
+			return 0, err
+		}
+	}
+
 	// Workers report their shard loss to the root (as raw float64 bits,
-	// so the global mean is computed from exact values).
+	// so the global mean is computed from exact values). This must come
+	// after ringConsume: data links are strict FIFO, and rank 0's ring
+	// predecessor shares its loss link with the relay stream — a loss
+	// frame sent before the relays would sit mid-stream and trip the
+	// root's tag discipline. (Under the tree the link carries gradient
+	// slices, all sent during scatter above, so the order is the same
+	// either way.)
 	if nd.rank != 0 {
 		lossBits := encodeF64(loss)
 		tag := nd.tag(transport.KindLoss, 0, nd.rank)
@@ -361,8 +488,6 @@ func (nd *Node) step() (float64, error) {
 			return 0, err
 		}
 	}
-
-	// Fold: own every slice this rank is responsible for.
 	foldStart := nd.now()
 	folded := 0
 	for _, p := range nd.paramOrder {
@@ -390,9 +515,15 @@ func (nd *Node) step() (float64, error) {
 		globalLoss = sum / float64(nd.size)
 	}
 
-	// Gather the reduced slices up the tree, update at the root,
-	// broadcast the new weights down.
-	if err := nd.gather(); err != nil {
+	// Route the reduced slices — up the tree to the root, or all the way
+	// around the ring — update at the root, broadcast the new weights
+	// down the tree (weights are master state; they always take the
+	// lowest-latency route).
+	if nd.opts.Topology == TopologyRing {
+		if err := nd.ringAllGather(); err != nil {
+			return 0, err
+		}
+	} else if err := nd.gather(); err != nil {
 		return 0, err
 	}
 	if nd.rank == 0 {
@@ -405,16 +536,40 @@ func (nd *Node) step() (float64, error) {
 	return globalLoss, nil
 }
 
-// scatterParam ships parameter pi's gradient slices to their owners
-// (asynchronously; the transport queues them). Safe to call from the
-// backward hook: it runs on the driving goroutine between engine calls,
-// so the trace single-writer contract holds.
+// scatterParam ships parameter pi's gradient slices toward their owners
+// (asynchronously; the transport queues them) — point-to-point under the
+// tree topology, to the ring successor under the ring. Safe to call from
+// the backward hook: it runs on the driving goroutine between engine
+// calls, so the trace single-writer contract holds.
 func (nd *Node) scatterParam(pi int) error {
 	nd.sent[pi] = true
 	p := nd.network.Params()[pi]
 	diff := p.Diff()
 	start := nd.now()
 	shipped := 0
+	if nd.opts.Topology == TopologyRing {
+		// Own contributions enter the ring in owner-distance order
+		// 1..k-1; ringConsume on the successor expects exactly this
+		// sequence (it is block b=0 of the link's relay stream).
+		for d := 1; d < nd.size; d++ {
+			o := (nd.rank + d) % nd.size
+			lo, hi := par.Chunk(p.Count(), nd.size, o)
+			if lo == hi {
+				continue
+			}
+			payload := diff[lo:hi]
+			if nd.codec != nil {
+				payload = nd.encodeChunk(pi, lo, hi, diff)
+			}
+			tag := nd.tag(transport.KindRing, pi, ringOrigin(nd.rank, o))
+			if err := nd.sendRetry(nd.ringNext, tag, payload); err != nil {
+				return err
+			}
+			shipped += hi - lo
+		}
+		nd.span("scatter", nd.ringNext, shipped, start)
+		return nil
+	}
 	for o := 0; o < nd.size; o++ {
 		if o == nd.rank {
 			continue
@@ -423,14 +578,54 @@ func (nd *Node) scatterParam(pi int) error {
 		if lo == hi {
 			continue
 		}
+		payload := diff[lo:hi]
+		if nd.codec != nil {
+			payload = nd.encodeChunk(pi, lo, hi, diff)
+		}
 		tag := nd.tag(transport.KindGrad, pi, nd.rank)
-		if err := nd.sendRetry(o, tag, diff[lo:hi]); err != nil {
+		if err := nd.sendRetry(o, tag, payload); err != nil {
 			return err
 		}
 		shipped += hi - lo
 	}
 	nd.span("scatter", -1, shipped, start)
 	return nil
+}
+
+// encodeChunk applies error feedback and encodes parameter pi's
+// [lo:hi) gradient slice into the preallocated wire buffer, returning
+// the encoded words. The residual update is the textbook EF step:
+// corrected = gradient + residual; wire = encode(corrected);
+// residual' = corrected − decode(wire). What the owner folds is
+// decode(wire), so the error this rank failed to transmit this
+// iteration is exactly what it adds back next iteration. The buffer is
+// valid until the next encodeChunk call — callers hand it straight to
+// the transport, which copies on enqueue.
+func (nd *Node) encodeChunk(pi, lo, hi int, diff []float32) []float32 {
+	start := nd.now()
+	n := hi - lo
+	res := nd.residual[pi][lo:hi]
+	corr := nd.corrBuf[:n]
+	for i := 0; i < n; i++ {
+		corr[i] = diff[lo+i] + res[i]
+	}
+	wire := nd.wireBuf[:nd.codec.WireLen(n)]
+	nd.codec.Encode(wire, corr)
+	dec := nd.decBuf[:n]
+	nd.codec.Decode(dec, wire)
+	for i := 0; i < n; i++ {
+		res[i] = corr[i] - dec[i]
+	}
+	nd.span("encode", -1, n, start)
+	return wire
+}
+
+// decodeInto decodes an encoded gradient frame into dst, recording the
+// decode cost as a PhaseComm sub-span beside the wire time it bought.
+func (nd *Node) decodeInto(dst, wire []float32, from int) {
+	start := nd.now()
+	nd.codec.Decode(dst, wire)
+	nd.span("decode", from, len(dst), start)
 }
 
 // foldParam reduces this rank's slice of parameter pi: contributions
@@ -450,9 +645,23 @@ func (nd *Node) foldParam(pi int) (int, error) {
 	diff := p.Diff()
 	for r := 0; r < nd.size; r++ {
 		src := tmp
-		if r == nd.rank {
+		switch {
+		case r == nd.rank:
+			// The own contribution never crosses the wire and is folded
+			// uncompressed under every codec — identically in tree and
+			// ring mode, so the topology/codec pair can't skew whose
+			// gradient gets quantized.
 			src = diff[lo:hi]
-		} else {
+		case nd.opts.Topology == TopologyRing:
+			src = nd.stageFor(pi, r) // decoded by ringConsume
+		case nd.codec != nil:
+			wire := nd.wireRecvBuf[:nd.codec.WireLen(n)]
+			tag := nd.tag(transport.KindGrad, pi, r)
+			if err := nd.recv(r, tag, wire); err != nil {
+				return 0, fmt.Errorf("dist: gradient slice of param %d from rank %d: %w", pi, r, err)
+			}
+			nd.decodeInto(tmp, wire, r)
+		default:
 			tag := nd.tag(transport.KindGrad, pi, r)
 			if err := nd.recv(r, tag, tmp); err != nil {
 				return 0, fmt.Errorf("dist: gradient slice of param %d from rank %d: %w", pi, r, err)

@@ -71,8 +71,13 @@ func tinySpecs(t testing.TB, src layers.Source, batch int) []net.LayerSpec {
 // shardNetE builds the net rank r of a k-rank group trains: the same
 // seeded architecture over shard r of the global batch.
 func shardNetE(r, k int) (*net.Net, error) {
-	src := data.NewSyntheticMNIST(sourceLen, dataSeed)
-	shard, err := data.NewShard(src, r, k, globalBatch)
+	// Round the global batch down to a multiple of k so odd group sizes
+	// (k=3 in the ring tests) shard evenly, and trim the source to a
+	// whole number of batches; powers of two keep the original batch of
+	// 16 over the full source exactly.
+	gb := globalBatch - globalBatch%k
+	src := data.NewSyntheticMNIST(gb*(sourceLen/globalBatch), dataSeed)
+	shard, err := data.NewShard(src, r, k, gb)
 	if err != nil {
 		return nil, err
 	}

@@ -122,8 +122,9 @@ func startElastic(trs []transport.Transport, cfg ElasticConfig) ([]*Report, []er
 // checkpoint, weights synced down the tree, then trained to total.
 // The elastic run's post-fence losses and final weights must be
 // bit-identical to what this returns.
-func cleanResume(t *testing.T, k, startIter, total int, ckpt string) ([][]float32, []float64) {
+func cleanResume(t *testing.T, k, startIter, total int, ckpt string, opts Options) ([][]float32, []float64) {
 	t.Helper()
+	opts.StartIter = startIter
 	trs := localGroup(k)
 	var (
 		wg      sync.WaitGroup
@@ -148,7 +149,6 @@ func cleanResume(t *testing.T, k, startIter, total int, ckpt string) ([][]float3
 				return
 			}
 			skipData(n, startIter)
-			opts := Options{StartIter: startIter}
 			var nd *Node
 			if r == 0 {
 				nd, err = NewRoot(trs[r], n, solverCfg(), opts)
@@ -270,7 +270,7 @@ func TestElasticCrashKillOneOfThreeBitIdentical(t *testing.T) {
 	requireSameLosses(t, "pre-fence losses", reports[0].Losses[:f.Iter], ref3L[:f.Iter])
 	// ... and everything after the fence matches a clean 2-rank run
 	// resumed from the fenced checkpoint.
-	refW, refL := cleanResume(t, 2, f.Iter, total, f.Checkpoint)
+	refW, refL := cleanResume(t, 2, f.Iter, total, f.Checkpoint, Options{})
 	requireSameLosses(t, "post-fence losses", reports[0].Losses[f.Iter:], refL)
 	requireBitIdentical(t, "coordinator weights", reports[0].Weights, refW)
 	requireBitIdentical(t, "survivor weights", reports[1].Weights, refW)
@@ -331,7 +331,7 @@ func TestElasticRejoinGrowsTreeBack(t *testing.T) {
 	if len(reports[0].Losses) != total {
 		t.Fatalf("coordinator committed %d losses, want %d", len(reports[0].Losses), total)
 	}
-	refW, refL := cleanResume(t, 3, f.Iter, total, f.Checkpoint)
+	refW, refL := cleanResume(t, 3, f.Iter, total, f.Checkpoint, Options{})
 	requireSameLosses(t, "post-join losses", reports[0].Losses[f.Iter:], refL)
 	for r := 0; r < 3; r++ {
 		requireBitIdentical(t, fmt.Sprintf("rank %d weights", r), reports[r].Weights, refW)
@@ -385,7 +385,7 @@ func TestElasticStragglerEvictedDeterministically(t *testing.T) {
 	if len(reports[0].Losses) != total {
 		t.Fatalf("coordinator committed %d losses, want %d", len(reports[0].Losses), total)
 	}
-	refW, refL := cleanResume(t, 2, f.Iter, total, f.Checkpoint)
+	refW, refL := cleanResume(t, 2, f.Iter, total, f.Checkpoint, Options{})
 	requireSameLosses(t, "post-eviction losses", reports[0].Losses[f.Iter:], refL)
 	requireBitIdentical(t, "coordinator weights", reports[0].Weights, refW)
 	requireBitIdentical(t, "survivor weights", reports[1].Weights, refW)
@@ -430,7 +430,7 @@ func TestElasticHangDetectedAsDead(t *testing.T) {
 	requireMembers(t, "fence removed", f.Removed, []int{1})
 	requireMembers(t, "fence members", f.Members, []int{0, 2})
 
-	refW, refL := cleanResume(t, 2, f.Iter, total, f.Checkpoint)
+	refW, refL := cleanResume(t, 2, f.Iter, total, f.Checkpoint, Options{})
 	requireSameLosses(t, "post-fence losses", reports[0].Losses[f.Iter:], refL)
 	requireBitIdentical(t, "coordinator weights", reports[0].Weights, refW)
 	requireBitIdentical(t, "survivor weights", reports[2].Weights, refW)
@@ -473,7 +473,7 @@ func TestElasticPartitionDetected(t *testing.T) {
 	requireMembers(t, "fence removed", f.Removed, []int{1})
 	requireMembers(t, "fence members", f.Members, []int{0, 2})
 
-	refW, refL := cleanResume(t, 2, f.Iter, total, f.Checkpoint)
+	refW, refL := cleanResume(t, 2, f.Iter, total, f.Checkpoint, Options{})
 	requireSameLosses(t, "post-fence losses", reports[0].Losses[f.Iter:], refL)
 	requireBitIdentical(t, "coordinator weights", reports[0].Weights, refW)
 	requireBitIdentical(t, "survivor weights", reports[2].Weights, refW)
@@ -537,4 +537,56 @@ func TestRunElasticValidation(t *testing.T) {
 	if _, err := RunElastic(g[0], bad); err == nil {
 		t.Fatal("accepted coordinator without FenceDir")
 	}
+}
+
+// Elastic recovery composes with the compressed ring: a seeded crash of
+// 1 of k=3 under f16 wire + ring topology must fence and resume exactly
+// like the uncompressed tree path does — and the post-fence run must be
+// bit-identical to a clean 2-rank resume using the same codec and
+// topology. The load-bearing detail is the error-feedback residual:
+// survivors rebuild their Node at the fence, which zeroes the residual,
+// exactly matching the fresh residual a clean resume starts with. A
+// residual carried across the fence would diverge from the reference on
+// the first post-fence iteration.
+func TestElasticCrashCompressedRingBitIdentical(t *testing.T) {
+	const total = 10
+	dir := t.TempDir()
+	opts := Options{Topology: TopologyRing, GradWire: "f16"}
+
+	locals := localGroup(3)
+	chaos := transport.NewChaos(locals[2], transport.ChaosConfig{
+		Mode: transport.ChaosCrash, AtIter: -1, IterSpan: 5,
+	}, 46)
+	if chaos.TriggerIter() != 3 {
+		t.Fatalf("seeded trigger = %d, want 3 (seeded chaos must replay exactly)", chaos.TriggerIter())
+	}
+	trs := []transport.Transport{locals[0], locals[1], chaos}
+
+	cfg := elasticCfg(total, dir)
+	cfg.Opts = opts
+	reports, errs, done := startElastic(trs, cfg)
+	for _, d := range done {
+		<-d
+	}
+	for _, tr := range trs {
+		tr.Close()
+	}
+
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("survivors errored: rank0=%v rank1=%v", errs[0], errs[1])
+	}
+	if !errors.Is(errs[2], transport.ErrClosed) {
+		t.Fatalf("crashed rank err = %v, want ErrClosed", errs[2])
+	}
+
+	f := requireOneFence(t, reports[0])
+	requireMembers(t, "fence members", f.Members, []int{0, 1})
+	if len(reports[0].Losses) != total {
+		t.Fatalf("coordinator committed %d losses, want %d", len(reports[0].Losses), total)
+	}
+
+	refW, refL := cleanResume(t, 2, f.Iter, total, f.Checkpoint, opts)
+	requireSameLosses(t, "post-fence losses", reports[0].Losses[f.Iter:], refL)
+	requireBitIdentical(t, "coordinator weights", reports[0].Weights, refW)
+	requireBitIdentical(t, "survivor weights", reports[1].Weights, refW)
 }

@@ -1,0 +1,172 @@
+// Ring gradient exchange (Options.Topology == TopologyRing): a
+// bandwidth-shaped alternative to the reduction tree in which every rank
+// talks only to its two neighbors — (rank−1) mod k feeds it, it feeds
+// (rank+1) mod k — the FireCaffe-style layout for clusters whose links,
+// not latencies, are the bottleneck.
+//
+// # Why this ring is a relay ring, not a partial-sum ring
+//
+// The textbook ring reduce-scatter accumulates partial sums as a chunk
+// travels: chunk c is summed in ring order c+1, c+2, …, c — a different
+// addition order for every chunk, and a different order than the tree
+// path's. Floating-point addition is not associative, so that ring
+// would produce different bits than the tree, breaking the repo-wide
+// determinism contract (every topology, transport and fan-out must
+// produce identical snapshots). Compressed wires make it worse: a
+// partial sum would have to be re-quantized at every hop, compounding
+// error and entangling it with ring position.
+//
+// This ring therefore relays *contributions*, not partials: an encoded
+// gradient chunk enters the ring at its origin and travels unchanged,
+// hop by hop, until it reaches the chunk's owner, who stages it. Once
+// the owner holds all k−1 peer contributions it folds them — own
+// gradient included — in ascending rank order 0..k−1 and scales by 1/k:
+// byte-for-byte the fold of the tree path and of replica.Trainer (the
+// OrderedSlices discipline). Under f32 the relayed bytes are the raw
+// gradient slices the tree path would have delivered point-to-point, so
+// the f32 ring is bit-identical to the tree at every k. Under f16/int8
+// the owner decodes exactly the frame the origin encoded (relays never
+// touch payload bits), so tree and ring agree under every codec.
+//
+// # The deterministic relay stream
+//
+// Data-plane links are strict-FIFO: a receiver must ask for frames in
+// exactly the order they were sent. Each rank sends, per parameter in
+// canonical order, its own k−1 contributions in owner-distance order
+// d=1..k−1, then forwards everything it consumed that it does not own,
+// in consumption order. Unrolling that recurrence, the stream arriving
+// at any rank r is, in order:
+//
+//	for a = 1..k−1:            // how far behind r the origin sits
+//	  origin o = (r−a) mod k
+//	  for each parameter (canonical order):
+//	    for d = a..k−1:        // owner distance from the origin
+//	      contribution (origin o, owner (o+d) mod k)
+//
+// The d==a item is owned by r (staged); the rest are relayed forward,
+// where they appear to the successor as its a+1 block — the closed form
+// is self-reproducing, so every rank can compute the exact sequence of
+// tags to expect with no negotiation. Origins arrive in descending rank
+// order (r−1, r−2, …), which is why contributions are staged rather
+// than folded on arrival: the fold must run in ascending rank order.
+//
+// # All-gather and what stays on the tree
+//
+// After the fold, each reduced chunk circulates the ring in raw f32
+// (reduced gradient is master state — compressing it would perturb the
+// solver update): each rank sends its own chunks, then re-forwards each
+// received chunk k−2 times total around the ring. After k−1 hops every
+// rank — the root included — holds the full reduced gradient, and the
+// root's solver update reads exactly the bytes the tree gather would
+// have delivered. Weight broadcast, weight sync and loss aggregation
+// stay on the tree/direct routes in both topologies: they are
+// latency-bound master-state traffic.
+
+package dist
+
+import (
+	"fmt"
+
+	"coarsegrain/internal/par"
+	"coarsegrain/internal/transport"
+)
+
+// ringConsume drains this iteration's relay stream from the ring
+// predecessor: contributions owned here are decoded into the staging
+// buffers, everything else is forwarded bit-unchanged to the successor.
+// Must run after this rank's own contributions have been sent (the
+// scatter hook) and before the fold.
+func (nd *Node) ringConsume() error {
+	start := nd.now()
+	params := nd.network.Params()
+	k := nd.size
+	relayed := 0
+	for a := 1; a < k; a++ {
+		o := (nd.rank - a + k) % k
+		for _, pi := range nd.paramOrder {
+			count := params[pi].Count()
+			for d := a; d < k; d++ {
+				w := (o + d) % k
+				lo, hi := par.Chunk(count, k, w)
+				if lo == hi {
+					continue
+				}
+				n := hi - lo
+				wl := n
+				if nd.codec != nil {
+					wl = nd.codec.WireLen(n)
+				}
+				wire := nd.wireRecvBuf[:wl]
+				tag := nd.tag(transport.KindRing, pi, ringOrigin(o, w))
+				if err := nd.recv(nd.ringPrev, tag, wire); err != nil {
+					return fmt.Errorf("dist: ring contribution to param %d (origin %d, owner %d): %w", pi, o, w, err)
+				}
+				if w == nd.rank {
+					dst := nd.stageFor(pi, o)
+					if nd.codec != nil {
+						nd.decodeInto(dst, wire, nd.ringPrev)
+					} else {
+						copy(dst, wire)
+					}
+					continue
+				}
+				if err := nd.sendRetry(nd.ringNext, tag, wire); err != nil {
+					return err
+				}
+				relayed += wl
+			}
+		}
+	}
+	nd.span("relay", nd.ringPrev, relayed, start)
+	return nil
+}
+
+// ringAllGather circulates every reduced chunk around the ring in raw
+// f32: own chunks first (per parameter, canonical order), then each
+// received chunk is written into the gradient buffer and re-forwarded
+// until it has visited every rank. The stream mirrors ringConsume's
+// closed form with one item per (origin, parameter); KindGather tags
+// carry the chunk owner, so the frames can never alias the relay
+// stream's.
+func (nd *Node) ringAllGather() error {
+	start := nd.now()
+	params := nd.network.Params()
+	k := nd.size
+	moved := 0
+	for _, pi := range nd.paramOrder {
+		p := params[pi]
+		diff := p.Diff()
+		lo, hi := par.Chunk(p.Count(), k, nd.rank)
+		if lo == hi {
+			continue
+		}
+		tag := nd.tag(transport.KindGather, pi, nd.rank)
+		if err := nd.sendRetry(nd.ringNext, tag, diff[lo:hi]); err != nil {
+			return err
+		}
+		moved += hi - lo
+	}
+	for a := 1; a < k; a++ {
+		o := (nd.rank - a + k) % k
+		for _, pi := range nd.paramOrder {
+			p := params[pi]
+			diff := p.Diff()
+			lo, hi := par.Chunk(p.Count(), k, o)
+			if lo == hi {
+				continue
+			}
+			tag := nd.tag(transport.KindGather, pi, o)
+			if err := nd.recv(nd.ringPrev, tag, diff[lo:hi]); err != nil {
+				return fmt.Errorf("dist: ring all-gather of param %d chunk %d: %w", pi, o, err)
+			}
+			if a < k-1 {
+				if err := nd.sendRetry(nd.ringNext, tag, diff[lo:hi]); err != nil {
+					return err
+				}
+			}
+			moved += hi - lo
+		}
+	}
+	nd.span("gather", nd.ringPrev, moved, start)
+	return nil
+}

@@ -74,3 +74,19 @@ func goodPaired(tr *trace.Tracer) {
 	tr.End()
 	tr.End()
 }
+
+// --- comm sub-phase spans (dist codec/ring instrumentation) -----------
+
+// The dist node records its exchange sub-phases — scatter, relay, fold,
+// gather, and under a lossy wire format encode/decode — as named spans
+// under PhaseComm. The names are span labels, not phases: only the
+// Phase field is held to the vocabulary.
+func goodCommSpans(tr *trace.Tracer) {
+	tr.Record(trace.Span{Name: "encode", Phase: trace.PhaseComm})
+	tr.Record(trace.Span{Name: "decode", Phase: trace.PhaseComm})
+	tr.Record(trace.Span{Name: "relay", Phase: trace.PhaseComm})
+}
+
+func badCommSpanLiteral(tr *trace.Tracer) {
+	tr.Record(trace.Span{Name: "encode", Phase: 8}) // want `Phase field of Span literal set to the literal 8`
+}

@@ -138,3 +138,38 @@ func goodWaived(c *transport.Conn) {
 	//dnnlint:ignore transerr best-effort close notification; peer detects EOF anyway
 	c.Send(transport.Msg{})
 }
+
+// --- codec call sites: compression wrappers around Send/Recv ---------
+
+// sendEncoded is the compressed-wire idiom internal/dist uses: encode
+// the payload, ship the frame. The codec call contributes no error, but
+// the wrapper still forwards Send's — its summary must survive the
+// intervening Encode call site.
+func sendEncoded(c *transport.Conn, cod transport.Codec, m transport.Msg) error {
+	m.Payload = cod.Encode(m.Payload)
+	return c.Send(m)
+}
+
+// recvDecoded mirrors it on the receive path.
+func recvDecoded(c *transport.Conn, cod transport.Codec) ([]float32, error) {
+	m, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return cod.Decode(m.Payload), nil
+}
+
+func dropEncodedSend(c *transport.Conn, cod transport.Codec, m transport.Msg) {
+	sendEncoded(c, cod, m) // want `error from sendEncoded \(which forwards a transport Send error\) is discarded`
+}
+
+func dropDecodedRecv(c *transport.Conn, cod transport.Codec) {
+	recvDecoded(c, cod) // want `error from recvDecoded \(which forwards a transport Recv error\) is discarded`
+}
+
+func okEncodedHandled(c *transport.Conn, cod transport.Codec, m transport.Msg) int {
+	if err := sendEncoded(c, cod, m); err != nil {
+		return 1
+	}
+	return 0
+}

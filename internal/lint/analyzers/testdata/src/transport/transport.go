@@ -62,3 +62,14 @@ func (c *Conn) Close() error {
 	c.closed = true
 	return nil
 }
+
+// Codec packs gradient payloads for the wire (f16/int8 in the real
+// package). Encode/Decode are pure transforms — no error result — so
+// only the Send/Recv they wrap carry the transport error contract.
+type Codec struct{}
+
+// Encode packs src into a wire frame.
+func (Codec) Encode(src []float32) []float32 { return src }
+
+// Decode unpacks a wire frame.
+func (Codec) Decode(wire []float32) []float32 { return wire }

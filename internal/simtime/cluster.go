@@ -110,13 +110,41 @@ func TreeDepth(n, fanout int) int {
 }
 
 // Predict models one training iteration on k replicas with a fan-out-f
-// reduction tree.
+// reduction tree and an uncompressed f32 wire.
 func (m ClusterMachine) Predict(w ClusterWorkload, replicas, fanout int) ClusterPrediction {
+	return m.PredictEx(w, replicas, fanout, "tree", 1)
+}
+
+// PredictEx extends Predict across the gradient-exchange design space
+// internal/dist implements: topology is "tree" or "ring", and wireScale
+// is the codec's bytes-on-wire ratio for encoded gradient frames (1 for
+// f32, ~0.5 for f16, ~0.26 for int8 — callers measure it from
+// transport.Codec.WireLen so the model and the implementation cannot
+// drift). wireScale applies only to the legs that carry encoded
+// contributions; reduced gradients and weights always cross as raw f32,
+// exactly as in the implementation.
+//
+// The ring modeled here is dist's deterministic relay ring, not the
+// textbook partial-sum ring: contributions travel bit-unchanged to
+// their chunk owner, so a chunk originating at distance d occupies d
+// links instead of being folded into a running partial at each hop.
+// Summing over origins, every link carries (k-1)/2 of the gradient
+// bytes in k(k-1)/2 frames per tensor — ~k/2 times the textbook ring's
+// (k-1)/k bytes. That is the honest price of bitwise determinism under
+// relays; compression is what buys it back (int8 at k=4 ships fewer
+// bytes per link than an uncompressed textbook ring would). The
+// all-gather leg is the textbook one — (k-1)/k of the reduced bytes per
+// link, raw f32 — and the tree term shrinks to the weight broadcast,
+// the only master-state traffic left on the tree under the ring.
+func (m ClusterMachine) PredictEx(w ClusterWorkload, replicas, fanout int, topology string, wireScale float64) ClusterPrediction {
 	if replicas < 1 {
 		replicas = 1
 	}
 	if fanout < 1 {
 		fanout = 1
+	}
+	if wireScale <= 0 {
+		wireScale = 1
 	}
 	k := float64(replicas)
 	cores := m.Cores
@@ -140,22 +168,38 @@ func (m ClusterMachine) Predict(w ClusterWorkload, replicas, fanout int) Cluster
 
 	paramMB := 4 * float64(w.ParamElems) / 1e6
 	msgs := float64(w.ParamTensors)
-
-	// Reduce-scatter: every rank ships (k-1)/k of its gradient bytes and
-	// receives as much, in (k-1) per-tensor messages each way. The links
-	// are full-duplex and distinct sender/receiver pairs run
-	// concurrently, so one rank's send budget is the bound.
-	p.ScatterUS = (k-1)*msgs*m.LatencyUS + paramMB*(k-1)/k/m.LinkMBps*1e6
-	// The layer hook ships slices while backward still runs; the hidden
-	// share is capped by the backward window itself.
-	p.HiddenUS = math.Min(m.OverlapFraction*p.ScatterUS, w.BackwardFrac*p.ComputeUS)
-
-	// Tree gather + broadcast: each of the depth levels forwards the
-	// full reduced vector (gather up, weights down), level by level.
-	// Depth is what the fan-out buys: a flat star (fanout k-1) pays one
-	// huge level, a binary tree log2(k) small ones.
 	d := float64(p.TreeDepth)
-	p.TreeUS = 2 * d * (msgs*m.LatencyUS + paramMB/m.LinkMBps*1e6)
+
+	if topology == "ring" {
+		// Relay-ring reduce-scatter: each link carries every rank's own
+		// (k-1) contributions plus the relays passing through — summed
+		// over origin distances, k(k-1)/2 frames and (k-1)/2 of the
+		// encoded gradient bytes per tensor per link. Links run
+		// concurrently; one link's budget is the bound.
+		p.ScatterUS = k*(k-1)/2*msgs*m.LatencyUS + paramMB*(k-1)/2*wireScale/m.LinkMBps*1e6
+		p.HiddenUS = math.Min(m.OverlapFraction*p.ScatterUS, w.BackwardFrac*p.ComputeUS)
+		// Ring all-gather of the reduced slices — raw f32, (k-1)/k of
+		// the bytes per link — plus the weight broadcast, which stays on
+		// the tree (master state takes the lowest-latency route).
+		allGather := (k-1)*msgs*m.LatencyUS + paramMB*(k-1)/k/m.LinkMBps*1e6
+		p.TreeUS = allGather + d*(msgs*m.LatencyUS + paramMB/m.LinkMBps*1e6)
+	} else {
+		// Reduce-scatter: every rank ships (k-1)/k of its (encoded)
+		// gradient bytes and receives as much, in (k-1) per-tensor
+		// messages each way. The links are full-duplex and distinct
+		// sender/receiver pairs run concurrently, so one rank's send
+		// budget is the bound.
+		p.ScatterUS = (k-1)*msgs*m.LatencyUS + paramMB*(k-1)/k*wireScale/m.LinkMBps*1e6
+		// The layer hook ships slices while backward still runs; the
+		// hidden share is capped by the backward window itself.
+		p.HiddenUS = math.Min(m.OverlapFraction*p.ScatterUS, w.BackwardFrac*p.ComputeUS)
+
+		// Tree gather + broadcast: each of the depth levels forwards the
+		// full reduced vector (gather up, weights down), level by level.
+		// Depth is what the fan-out buys: a flat star (fanout k-1) pays
+		// one huge level, a binary tree log2(k) small ones.
+		p.TreeUS = 2 * d * (msgs*m.LatencyUS + paramMB/m.LinkMBps*1e6)
+	}
 
 	p.TotalUS = p.ComputeUS + (p.ScatterUS - p.HiddenUS) + p.TreeUS
 	p.Speedup = w.ComputeUS / p.TotalUS

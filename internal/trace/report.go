@@ -82,8 +82,11 @@ type Utilization struct {
 // Reduce rows aggregate the element-parallel ordered merge's per-worker
 // fold spans against the driver's merge wall time, so the reduce section
 // shows up with its own utilization instead of hiding inside backward.
-// Phases without worker spans (sequential layers, update) produce no
-// row.
+// Comm rows (internal/dist's scatter/relay/fold/gather and the codec's
+// encode/decode) are driver-side costs with no worker busy time: they
+// report wall time, span count, and distinct peers in Bands, with Util
+// and Imbalance zero. Compute phases without worker spans (sequential
+// layers, update) produce no row.
 func ComputeUtilization(spans []Span, workers int) []Utilization {
 	if workers < 1 {
 		workers = 1
@@ -101,7 +104,8 @@ func ComputeUtilization(spans []Span, workers int) []Utilization {
 	}
 	for _, s := range spans {
 		if s.Phase != PhaseForward && s.Phase != PhaseBackward &&
-			s.Phase != PhaseRegion && s.Phase != PhaseReduce {
+			s.Phase != PhaseRegion && s.Phase != PhaseReduce &&
+			s.Phase != PhaseComm {
 			continue
 		}
 		k := regionKey{s.Name, s.Phase}
@@ -109,6 +113,19 @@ func ComputeUtilization(spans []Span, workers int) []Utilization {
 			// Region spans are the coarse backward's privatize+compute
 			// body; fold them into the backward family.
 			k.phase = PhaseBackward
+		}
+		if s.Phase == PhaseComm {
+			// Comm spans are driver-side only (the dist node runs on the
+			// driving goroutine): wall time is the cost, Band is the peer
+			// rank, and there is no worker busy time to normalize. One
+			// row per sub-phase — scatter/relay/fold/gather and, under a
+			// lossy wire format, encode/decode — so the codec's CPU cost
+			// is visible beside the wire time it bought.
+			st := get(k)
+			st.wall += s.Dur
+			st.spans++
+			st.bands[s.Band] = true
+			continue
 		}
 		st := get(k)
 		if s.Rank == RankDriver {
@@ -182,12 +199,21 @@ func WriteUtilizationReport(w io.Writer, spans []Span, workers int) {
 	rows := ComputeUtilization(spans, workers)
 	fmt.Fprintf(w, "%-14s %-9s %12s %12s %7s %7s %6s\n",
 		"layer", "phase", "busy (us)", "wall (us)", "util", "imbal", "bands")
-	var totBusy, totWall time.Duration
+	var totBusy, totWall, commWall time.Duration
 	for _, u := range rows {
 		fmt.Fprintf(w, "%-14s %-9s %12.1f %12.1f %6.1f%% %7.2f %6d\n",
 			u.Name, u.Phase, us(u.Busy), us(u.Wall), u.Util*100, u.Imbalance, u.Bands)
+		if u.Phase == PhaseComm {
+			// Comm rows have no worker busy time; folding their wall
+			// time into the compute TOTAL would dilute its utilization.
+			commWall += u.Wall
+			continue
+		}
 		totBusy += u.Busy
 		totWall += u.Wall
+	}
+	if commWall > 0 {
+		fmt.Fprintf(w, "%-14s %-9s %12s %12.1f\n", "COMM", "", "-", us(commWall))
 	}
 	if totWall > 0 {
 		fmt.Fprintf(w, "%-14s %-9s %12.1f %12.1f %6.1f%%\n",

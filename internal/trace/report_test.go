@@ -103,3 +103,49 @@ func TestTopSpans(t *testing.T) {
 		t.Fatalf("len = %d", len(got))
 	}
 }
+
+// Comm spans (internal/dist's driver-side exchange phases, including the
+// codec's encode/decode) must surface as their own report rows: wall
+// time and span count with distinct peers in Bands, and no dilution of
+// the compute TOTAL's utilization.
+func TestUtilizationReportShowsCommPhases(t *testing.T) {
+	tr := New(2)
+	tr.Record(Span{Name: "ip1", Phase: PhaseBackward, Rank: RankDriver, Dur: 100 * time.Microsecond})
+	tr.Record(Span{Name: "ip1", Phase: PhaseBackward, Rank: 0, Dur: 90 * time.Microsecond})
+	tr.Record(Span{Name: "ip1", Phase: PhaseBackward, Rank: 1, Dur: 90 * time.Microsecond})
+	tr.Record(Span{Name: "encode", Phase: PhaseComm, Rank: RankDriver, Band: -1, Dur: 30 * time.Microsecond})
+	tr.Record(Span{Name: "encode", Phase: PhaseComm, Rank: RankDriver, Band: -1, Dur: 10 * time.Microsecond})
+	tr.Record(Span{Name: "decode", Phase: PhaseComm, Rank: RankDriver, Band: 1, Dur: 20 * time.Microsecond})
+	spans := tr.Snapshot()
+
+	rows := ComputeUtilization(spans, 2)
+	byName := map[string]Utilization{}
+	for _, u := range rows {
+		byName[u.Name+"/"+u.Phase.String()] = u
+	}
+	enc, ok := byName["encode/comm"]
+	if !ok {
+		t.Fatalf("no encode comm row in %+v", rows)
+	}
+	if enc.Wall != 40*time.Microsecond || enc.Spans != 2 || enc.Busy != 0 {
+		t.Fatalf("encode row wrong: %+v", enc)
+	}
+	dec, ok := byName["decode/comm"]
+	if !ok || dec.Wall != 20*time.Microsecond {
+		t.Fatalf("decode row wrong: %+v (ok=%v)", dec, ok)
+	}
+
+	var buf strings.Builder
+	WriteUtilizationReport(&buf, spans, 2)
+	out := buf.String()
+	for _, want := range []string{"encode", "decode", "COMM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The compute TOTAL must not be diluted by comm wall time:
+	// busy 180us / (2 workers x 100us wall) = 90%.
+	if !strings.Contains(out, "90.0%") {
+		t.Fatalf("compute TOTAL diluted by comm wall:\n%s", out)
+	}
+}

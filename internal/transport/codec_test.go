@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"math"
+	"testing"
+)
+
+// gradLike fills out with a deterministic gradient-shaped signal: mixed
+// magnitudes across several decades, signs alternating irregularly, a
+// sprinkle of exact zeros. A splitmix-style generator keeps it
+// reproducible without the seeded rng package (this is the transport
+// layer; no heavy deps).
+func gradLike(out []float32, seed uint64) {
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range out {
+		r := next()
+		if r%17 == 0 {
+			out[i] = 0
+			continue
+		}
+		mag := math.Pow(10, -float64(r>>8%7)) // 1e0 .. 1e-6
+		v := (float64(r%2001)/1000 - 1) * mag
+		out[i] = float32(v)
+	}
+}
+
+func TestF16SpecialValuesRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want float32
+	}{
+		{0, 0},
+		{float32(math.Copysign(0, -1)), float32(math.Copysign(0, -1))},
+		{1, 1},
+		{-1, -1},
+		{0.5, 0.5},
+		{65504, 65504},             // largest f16 normal
+		{65505, 65504},             // rounds back down
+		{65520, float32(math.Inf(1))}, // midpoint rounds to even = Inf
+		{1e30, float32(math.Inf(1))},  // overflow saturates
+		{-1e30, float32(math.Inf(-1))},
+		{5.9604645e-8, 5.9604645e-8}, // smallest f16 subnormal
+		{1e-10, 0},                   // below subnormal range
+		{float32(math.Inf(1)), float32(math.Inf(1))},
+		{0.0999755859375, 0.0999755859375}, // exactly representable in f16
+	}
+	for _, c := range cases {
+		got := f16ToF32(f16FromF32(c.in))
+		if math.Float32bits(got) != math.Float32bits(c.want) {
+			t.Errorf("f16 round trip of %g: got %g (bits %08x), want %g", c.in, got, math.Float32bits(got), c.want)
+		}
+	}
+	if got := f16ToF32(f16FromF32(float32(math.NaN()))); !math.IsNaN(float64(got)) {
+		t.Errorf("f16 round trip of NaN: got %g, want NaN", got)
+	}
+}
+
+// TestF16RoundToNearestEven pins the tie-breaking rule: a value exactly
+// between two representable halves must round to the even mantissa.
+func TestF16RoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly between f16(1.0) (mantissa 0, even) and
+	// 1+2^-10 (mantissa 1, odd): must round down to 1.0.
+	in := float32(1) + float32(math.Ldexp(1, -11))
+	if got := f16ToF32(f16FromF32(in)); got != 1 {
+		t.Errorf("tie at 1+2^-11 rounded to %g, want 1 (even)", got)
+	}
+	// 1 + 3*2^-11 is exactly between mantissa 1 (odd) and 2 (even):
+	// must round up to 1+2^-9.
+	in = float32(1) + 3*float32(math.Ldexp(1, -11))
+	want := float32(1) + float32(math.Ldexp(1, -9))
+	if got := f16ToF32(f16FromF32(in)); got != want {
+		t.Errorf("tie at 1+3*2^-11 rounded to %g, want %g (even)", got, want)
+	}
+}
+
+func TestCodecWireLen(t *testing.T) {
+	cases := []struct {
+		codec   Codec
+		n, want int
+	}{
+		{F32Codec{}, 0, 0}, {F32Codec{}, 7, 7}, {F32Codec{}, 1000, 1000},
+		{F16Codec{}, 0, 0}, {F16Codec{}, 1, 1}, {F16Codec{}, 7, 4}, {F16Codec{}, 8, 4},
+		{Int8Codec{}, 0, 0}, {Int8Codec{}, 1, 2}, {Int8Codec{}, 4, 2}, {Int8Codec{}, 5, 3},
+		{Int8Codec{}, 256, 65}, {Int8Codec{}, 257, 67}, {Int8Codec{}, 512, 130},
+	}
+	for _, c := range cases {
+		if got := c.codec.WireLen(c.n); got != c.want {
+			t.Errorf("%s.WireLen(%d) = %d, want %d", c.codec.Name(), c.n, got, c.want)
+		}
+	}
+}
+
+// TestCodecDifferentialErrorBounds is the differential test against the
+// f32 path: every codec's decode(encode(x)) must stay within its format
+// error bound of x, element by element, on gradient-shaped data spanning
+// seven decades — including lengths that exercise the odd-tail and
+// group-boundary paths.
+func TestCodecDifferentialErrorBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 255, 256, 257, 1000, 4096} {
+		src := make([]float32, n)
+		gradLike(src, uint64(n)*31+7)
+		for _, codec := range []Codec{F32Codec{}, F16Codec{}, Int8Codec{}} {
+			wire := make([]float32, codec.WireLen(n))
+			dec := make([]float32, n)
+			codec.Encode(wire, src)
+			codec.Decode(dec, wire)
+			for i, want := range src {
+				got := dec[i]
+				var bound float64
+				switch codec.(type) {
+				case F32Codec:
+					bound = 0 // identity: bit-exact
+				case F16Codec:
+					// Relative 2^-11 for normals plus the subnormal
+					// quantum for the tiny tail.
+					bound = math.Abs(float64(want))/2048 + math.Ldexp(1, -25)
+				case Int8Codec:
+					// Half a quantization step of the element's group.
+					lo := (i / Int8GroupLen) * Int8GroupLen
+					hi := lo + Int8GroupLen
+					if hi > n {
+						hi = n
+					}
+					var maxabs float64
+					for _, v := range src[lo:hi] {
+						if a := math.Abs(float64(v)); a > maxabs {
+							maxabs = a
+						}
+					}
+					bound = maxabs / 254 * 1.0001
+				}
+				if err := math.Abs(float64(got - want)); err > bound {
+					t.Fatalf("%s n=%d elem %d: decode %g vs source %g, error %g exceeds bound %g",
+						codec.Name(), n, i, got, want, err, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestCodecDeterministic pins bit-for-bit reproducibility of the wire:
+// encoding the same gradient twice must produce identical words (the
+// cluster's determinism contract extends to compressed frames).
+func TestCodecDeterministic(t *testing.T) {
+	const n = 2000
+	src := make([]float32, n)
+	gradLike(src, 99)
+	for _, codec := range []Codec{F32Codec{}, F16Codec{}, Int8Codec{}} {
+		a := make([]float32, codec.WireLen(n))
+		b := make([]float32, codec.WireLen(n))
+		codec.Encode(a, src)
+		codec.Encode(b, src)
+		for i := range a {
+			if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+				t.Fatalf("%s: wire word %d differs across identical encodes", codec.Name(), i)
+			}
+		}
+	}
+}
+
+func TestInt8AllZeroGroupDecodesExact(t *testing.T) {
+	src := make([]float32, 300) // one full group of zeros plus a live tail
+	for i := 256; i < 300; i++ {
+		src[i] = float32(i-270) * 0.01
+	}
+	codec := Int8Codec{}
+	wire := make([]float32, codec.WireLen(len(src)))
+	dec := make([]float32, len(src))
+	codec.Encode(wire, src)
+	codec.Decode(dec, wire)
+	for i := 0; i < 256; i++ {
+		if dec[i] != 0 {
+			t.Fatalf("zero group element %d decoded to %g", i, dec[i])
+		}
+	}
+}
+
+// TestInt8RoundHalfAwayFromZero pins the quantizer's rounding rule: it
+// must be an odd function so compression cannot introduce sign bias.
+func TestInt8RoundHalfAwayFromZero(t *testing.T) {
+	// scale = 1 (maxabs = 127), so x quantizes to round(x).
+	src := []float32{127, 0.5, -0.5, 1.5, -1.5, 2.5, -2.5}
+	codec := Int8Codec{}
+	wire := make([]float32, codec.WireLen(len(src)))
+	dec := make([]float32, len(src))
+	codec.Encode(wire, src)
+	codec.Decode(dec, wire)
+	want := []float32{127, 1, -1, 2, -2, 3, -3}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Errorf("quantize %g: got %g, want %g", src[i], dec[i], want[i])
+		}
+	}
+}
+
+// TestCodecWireRatio pins the compression ratios the PERFORMANCE.md
+// table claims: f16 halves the wire, int8 cuts it ~3.9x — comfortably
+// beyond the ≥3.5x acceptance bar — at gradient-slice sizes.
+func TestCodecWireRatio(t *testing.T) {
+	const n = 100000
+	if r := float64(n) / float64((F16Codec{}).WireLen(n)); r < 1.99 {
+		t.Errorf("f16 wire ratio %.2f, want ~2", r)
+	}
+	if r := float64(n) / float64((Int8Codec{}).WireLen(n)); r < 3.5 {
+		t.Errorf("int8 wire ratio %.2f, want >= 3.5", r)
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	for name, want := range map[string]string{"": "f32", "f32": "f32", "f16": "f16", "int8": "int8"} {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatalf("CodecByName(%q): %v", name, err)
+		}
+		if c.Name() != want {
+			t.Errorf("CodecByName(%q).Name() = %q, want %q", name, c.Name(), want)
+		}
+	}
+	if _, err := CodecByName("bf16"); err == nil {
+		t.Error("CodecByName(bf16) should fail")
+	}
+}
+
+func BenchmarkCodec(b *testing.B) {
+	const n = 1 << 20
+	src := make([]float32, n)
+	gradLike(src, 5)
+	for _, codec := range []Codec{F32Codec{}, F16Codec{}, Int8Codec{}} {
+		wire := make([]float32, codec.WireLen(n))
+		dec := make([]float32, n)
+		b.Run("encode/"+codec.Name(), func(b *testing.B) {
+			b.SetBytes(int64(4 * n))
+			for i := 0; i < b.N; i++ {
+				codec.Encode(wire, src)
+			}
+		})
+		b.Run("decode/"+codec.Name(), func(b *testing.B) {
+			b.SetBytes(int64(4 * n))
+			for i := 0; i < b.N; i++ {
+				codec.Decode(dec, wire)
+			}
+		})
+	}
+}

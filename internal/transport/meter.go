@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Meter wraps a Transport and counts data-plane payload traffic per
+// message kind — the measurement layer behind the compression claims in
+// PERFORMANCE.md: "int8 cuts gradient bytes 3.9x" is only a claim if
+// the bytes are counted where they actually cross the wire, after the
+// codec has packed them, not estimated from tensor shapes. Counters are
+// sized by KindCount, so a newly added kind is counted from its first
+// frame rather than falling through a stale switch.
+//
+// Only successful Sends are counted (a dropped frame under fault
+// injection never left the rank, and its retry is a real resend that
+// did). Counting happens on the send side because every data-plane frame
+// is sent exactly once per link — Recv-side counting would double-count
+// the duplicates the inbox discards. Control-plane traffic (SendCtrl) is
+// counted in frames only; its payloads are a few words of heartbeat
+// state and never carry gradient.
+type Meter struct {
+	inner Transport
+
+	words      [KindCount]atomic.Int64
+	frames     [KindCount]atomic.Int64
+	ctrlFrames atomic.Int64
+}
+
+// NewMeter wraps inner with per-kind traffic accounting.
+func NewMeter(inner Transport) *Meter { return &Meter{inner: inner} }
+
+// Rank implements Transport.
+func (m *Meter) Rank() int { return m.inner.Rank() }
+
+// Size implements Transport.
+func (m *Meter) Size() int { return m.inner.Size() }
+
+// Send implements Transport, counting the payload against tag's kind.
+func (m *Meter) Send(to int, tag Tag, payload []float32) error {
+	err := m.inner.Send(to, tag, payload)
+	if err == nil {
+		k := tag.Kind()
+		m.words[k].Add(int64(len(payload)))
+		m.frames[k].Add(1)
+	}
+	return err
+}
+
+// Recv implements Transport.
+func (m *Meter) Recv(from int, tag Tag, buf []float32) error {
+	return m.inner.Recv(from, tag, buf)
+}
+
+// SendCtrl implements Transport.
+func (m *Meter) SendCtrl(to int, tag Tag, payload []float32) error {
+	err := m.inner.SendCtrl(to, tag, payload)
+	if err == nil {
+		m.ctrlFrames.Add(1)
+	}
+	return err
+}
+
+// RecvCtrl implements Transport.
+func (m *Meter) RecvCtrl(from int, timeout time.Duration) (Tag, []float32, error) {
+	return m.inner.RecvCtrl(from, timeout)
+}
+
+// Interrupt implements Transport.
+func (m *Meter) Interrupt(err error) { m.inner.Interrupt(err) }
+
+// Resume implements Transport.
+func (m *Meter) Resume() { m.inner.Resume() }
+
+// Close implements Transport.
+func (m *Meter) Close() error { return m.inner.Close() }
+
+// SentWords returns the float32 payload words successfully sent under
+// kind k.
+func (m *Meter) SentWords(k Kind) int64 { return m.words[k].Load() }
+
+// SentFrames returns the data-plane frames successfully sent under kind
+// k.
+func (m *Meter) SentFrames(k Kind) int64 { return m.frames[k].Load() }
+
+// SentBytes returns the payload bytes successfully sent under kind k
+// (4 bytes per word; framing overhead is transport-specific and
+// excluded).
+func (m *Meter) SentBytes(k Kind) int64 { return 4 * m.SentWords(k) }
+
+// GradBytes returns the bytes of gradient contributions this rank put on
+// the wire: the scatter frames of the tree path (KindGrad) plus the
+// ring's relay frames (KindRing). This is the quantity the codec
+// compresses; reduced slices, weight broadcasts and losses are f32 by
+// design and excluded.
+func (m *Meter) GradBytes() int64 {
+	return m.SentBytes(KindGrad) + m.SentBytes(KindRing)
+}

@@ -79,6 +79,15 @@ const (
 	// fence or resume, re-seeding every member with the coordinator's
 	// weights before lock-step stepping restarts.
 	KindSync
+	// KindRing is an encoded gradient contribution relayed hop-by-hop
+	// around the ring topology during the ring reduce-scatter. Its origin
+	// field packs origin<<8|owner (both < 256 — the ring path caps the
+	// group at 256 ranks) because a relayed frame must stay distinguishable
+	// from the relaying rank's own contributions on the same link. The
+	// payload is codec-encoded wire words, not raw f32 gradient, and the
+	// epoch field in the tag keeps stale compressed chunks from aliasing
+	// across elastic membership changes.
+	KindRing
 	// KindPing is a coordinator heartbeat probe (control plane).
 	KindPing
 	// KindPong answers a ping; its payload carries the worker's training
@@ -94,6 +103,15 @@ const (
 	// KindAck acknowledges a fence; the coordinator holds the new epoch's
 	// data plane until every member has acked (control plane).
 	KindAck
+
+	// KindCount is the number of message kinds. New kinds must be added
+	// above it (the Tag layout holds 4 bits, so at most 16): MakeTagE
+	// range-checks against KindCount rather than a named last kind, so a
+	// freshly added kind is routable the moment it exists instead of
+	// panicking in the tag packer — and wrappers that switch per kind
+	// (Meter's byte accounting) size their tables from it so new kinds
+	// pass through counted, never silently dropped.
+	KindCount
 )
 
 // Ctrl reports whether the kind travels on the control plane
@@ -119,6 +137,8 @@ func (k Kind) String() string {
 		return "loss"
 	case KindSync:
 		return "sync"
+	case KindRing:
+		return "ring"
 	case KindPing:
 		return "ping"
 	case KindPong:
@@ -160,7 +180,7 @@ func MakeTag(k Kind, iter, param, origin int) Tag {
 
 // MakeTagE packs a message label carrying an explicit membership epoch.
 func MakeTagE(k Kind, epoch, iter, param, origin int) Tag {
-	if k > KindAck {
+	if k >= KindCount {
 		panic(fmt.Sprintf("transport: kind %d out of range", k))
 	}
 	if epoch < 0 || epoch > MaxEpoch {

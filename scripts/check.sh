@@ -15,7 +15,8 @@
 # random port answering a dnnload probe and draining cleanly on SIGTERM,
 # and a distributed smoke (DISTRIBUTED.md): a coordinator + 2 workers
 # over loopback TCP whose final snapshot must be bit-identical to the
-# single-process run, plus an elastic smoke that crashes 1 of 3 ranks
+# single-process run with ring-topology and compressed-wire CRC pins,
+# plus an elastic smoke that crashes 1 of 3 ranks
 # mid-run and requires the survivors' final snapshot to be bit-identical
 # to a clean 2-rank resume from the fence checkpoint. Run from anywhere
 # inside the repo.
@@ -152,6 +153,29 @@ local_crc="$(cksum <"$tmpdir/local.cgdnn")"
 [ "$tcp_crc" = "$local_crc" ] ||
 	{ echo "FAIL: TCP snapshot CRC ($tcp_crc) != local snapshot CRC ($local_crc)" >&2; exit 1; }
 echo "TCP and in-process snapshots bit-identical (cksum $tcp_crc), as required"
+
+echo "== ring + compressed wire smoke: f32 ring == tree; int8 deterministic, != f32 =="
+# DISTRIBUTED.md section 9: the ring topology relays contributions
+# bit-unchanged, so an f32 ring run writes the exact snapshot the tree
+# run writes; an int8 (error-feedback) run is deterministic — identical
+# across reruns — but trains on quantized bits, so its snapshot must
+# differ from f32's. Both pins through the real CLI, CRC-checked.
+"$tmpdir/dnncluster" -role local -replicas 3 -reduce ring -batch 48 -samples 48 -iters 4 \
+	-zoo lenet -display 4 -snapshot "$tmpdir/ring.cgdnn" >/dev/null
+ring_crc="$(cksum <"$tmpdir/ring.cgdnn")"
+[ "$ring_crc" = "$local_crc" ] ||
+	{ echo "FAIL: f32 ring snapshot CRC ($ring_crc) != tree CRC ($local_crc)" >&2; exit 1; }
+"$tmpdir/dnncluster" -role local -replicas 3 -reduce ring -grad-wire int8 -batch 48 \
+	-samples 48 -iters 4 -zoo lenet -display 4 -snapshot "$tmpdir/int8-a.cgdnn" >/dev/null
+"$tmpdir/dnncluster" -role local -replicas 3 -reduce ring -grad-wire int8 -batch 48 \
+	-samples 48 -iters 4 -zoo lenet -display 4 -snapshot "$tmpdir/int8-b.cgdnn" >/dev/null
+int8a_crc="$(cksum <"$tmpdir/int8-a.cgdnn")"
+int8b_crc="$(cksum <"$tmpdir/int8-b.cgdnn")"
+[ "$int8a_crc" = "$int8b_crc" ] ||
+	{ echo "FAIL: int8 ring reruns differ ($int8a_crc vs $int8b_crc)" >&2; exit 1; }
+[ "$int8a_crc" != "$local_crc" ] ||
+	{ echo "FAIL: int8 snapshot identical to f32 ($int8a_crc) — compression not applied?" >&2; exit 1; }
+echo "f32 ring == tree; int8 ring deterministic and distinct from f32 (cksum $int8a_crc), as required"
 
 echo "== elastic smoke: kill 1 of 3 ranks, recover bit-identical to a clean 2-rank resume =="
 # ROBUSTNESS.md's cluster contract: crash a worker mid-run under the
